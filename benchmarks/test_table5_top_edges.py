@@ -1,0 +1,35 @@
+"""Table 5: top-weighted edges of each Wikipedia symmetrization.
+
+Paper shape: Bibliometric's heaviest pairs involve hub pages ("Area",
+"Population density" — the top-in-degree nodes); Random-walk's involve
+high-PageRank nodes (also hubs); Degree-discounted's heaviest pairs
+are specific, non-hub near-duplicates (Cyathea / Subgenus Cyathea).
+"""
+
+from benchmarks.conftest import BUNDLE, emit
+from repro.experiments import run_experiment
+
+
+def test_table5(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table5", bundle=BUNDLE),
+        rounds=1,
+        iterations=1,
+    )
+    emit("table5_top_edges", result.text)
+
+    hub_touch = result.data["hub_touch"]
+    # Shape: hub pairs dominate the Bibliometric top but not the
+    # Degree-discounted top.
+    assert hub_touch["bibliometric"] >= 3
+    assert hub_touch["degree_discounted"] <= hub_touch["bibliometric"]
+    assert (
+        hub_touch["degree_discounted"] <= 1
+    ), "degree-discounted top pairs should be specific non-hub nodes"
+
+    # The paper notes Random-walk weights track PageRank: its top
+    # edges touch nodes with far-above-median PageRank.
+    pi = result.data["pagerank"]
+    median_pi = result.data["median_pagerank"]
+    for i, j, _ in result.data["tops"]["random_walk"]:
+        assert max(pi[i], pi[j]) > 10 * median_pi

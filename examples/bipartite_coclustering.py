@@ -1,0 +1,108 @@
+"""Bipartite co-clustering (the paper's §6 future-work extension).
+
+Many directed datasets are really bipartite: users x items, authors x
+papers, queries x documents. The degree-discounted idea carries over
+directly — two users are similar when they interact with the same
+items, discounted by item popularity and user activity — giving
+*one-mode projections* that any stage-2 clusterer handles.
+
+This example builds a synthetic users-x-tags interaction matrix with
+planted communities plus a popular "background" tag everyone uses,
+projects each side with ``bipartite_symmetrize``, and clusters both.
+
+Run:  python examples/bipartite_coclustering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.pipeline.report import format_table
+
+
+def build_interactions(
+    n_groups: int = 4,
+    users_per_group: int = 30,
+    tags_per_group: int = 12,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Users tag mostly within their community; one global tag is
+    popular with everyone (the bipartite analogue of a hub)."""
+    rng = np.random.default_rng(seed)
+    n_users = n_groups * users_per_group
+    n_tags = n_groups * tags_per_group + 1  # +1 global tag
+    B = np.zeros((n_users, n_tags))
+    user_truth = np.repeat(np.arange(n_groups), users_per_group)
+    tag_truth = np.concatenate(
+        [np.repeat(np.arange(n_groups), tags_per_group), [-1]]
+    )
+    for g in range(n_groups):
+        users = slice(g * users_per_group, (g + 1) * users_per_group)
+        tags = slice(g * tags_per_group, (g + 1) * tags_per_group)
+        B[users, tags] = (
+            rng.random((users_per_group, tags_per_group)) < 0.4
+        )
+    # The global tag: used by 70% of all users.
+    B[:, -1] = rng.random(n_users) < 0.7
+    # Light cross-community noise.
+    noise = rng.random(B.shape) < 0.02
+    B = np.maximum(B, noise.astype(float))
+    return B, user_truth, tag_truth
+
+
+def main() -> None:
+    B, user_truth, tag_truth = build_interactions()
+    print(
+        f"interaction matrix: {B.shape[0]} users x {B.shape[1]} tags, "
+        f"{int(B.sum())} interactions\n"
+    )
+
+    rows = []
+    for side, truth in (("left", user_truth), ("right", tag_truth)):
+        projection = repro.bipartite_symmetrize(B, side=side)
+        k = 4
+        clustering = repro.MetisClusterer().cluster(projection, k)
+        gt = repro.GroundTruth.from_labels(truth)
+        score = repro.average_f_score(clustering, gt)
+        rows.append(
+            [
+                "users" if side == "left" else "tags",
+                projection.n_nodes,
+                projection.n_edges,
+                clustering.n_clusters,
+                score,
+            ]
+        )
+    print(
+        format_table(
+            ["Side", "Nodes", "Projection edges", "k", "AvgF"],
+            rows,
+            title="Degree-discounted one-mode projections (Metis, k=4)",
+        )
+    )
+
+    # Show the hub discount at work: similarity through the global
+    # tag is tiny compared to similarity through community tags.
+    sym = repro.BipartiteDegreeDiscounted()
+    only_global = np.zeros_like(B)
+    only_global[:, -1] = B[:, -1]
+    through_global = sym.left_similarity(only_global)
+    full = sym.left_similarity(B)
+    print(
+        f"\nmax user-user similarity through the global tag alone: "
+        f"{through_global.adjacency.max():.4f}"
+    )
+    print(
+        f"max user-user similarity overall: "
+        f"{full.adjacency.max():.4f}"
+    )
+    print(
+        "-> the popular tag contributes far less than the community "
+        "tags,\n   the bipartite analogue of discounting the 'Area' "
+        "page in the\n   paper's Wikipedia analysis."
+    )
+
+
+if __name__ == "__main__":
+    main()

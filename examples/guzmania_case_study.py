@@ -1,0 +1,70 @@
+"""The Guzmania case study (§5.7, Figures 1 and 10).
+
+Wikipedia pages for plant species of the genus Guzmania never link to
+one another — but they all point to the genus page, "Poales",
+"Ecuador", and are all pointed to by the genus page and list pages.
+A+Aᵀ symmetrization leaves them mutually disconnected (unclusterable);
+similarity symmetrizations connect them directly.
+
+Run:  python examples/guzmania_case_study.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.graph.generators import figure1_graph
+from repro.pipeline.report import format_table
+
+
+def main() -> None:
+    # --- The idealized Figure-1 graph --------------------------------
+    g, roles = figure1_graph()
+    a, b = roles["pair"]
+    rows = []
+    for name in ("naive", "bibliometric", "degree_discounted"):
+        u = repro.symmetrize(g, name)
+        rows.append([name, round(u.edge_weight(a, b), 3)])
+    print(
+        format_table(
+            ["Symmetrization", "weight between the natural pair"],
+            rows,
+            title="Figure 1: nodes sharing all neighbours, never linking",
+        )
+    )
+    print()
+
+    # --- The Guzmania motif ------------------------------------------
+    graph, motif_roles = repro.guzmania_motif(n_species=10)
+    species = motif_roles["species"]
+    print(f"Guzmania motif: {graph}")
+    print(
+        "species pages:",
+        ", ".join(str(graph.name_of(s)) for s in species[:3]),
+        "...",
+    )
+
+    for name in ("naive", "degree_discounted"):
+        u = repro.symmetrize(graph, name)
+        clustering = repro.MLRMCL().cluster(u)
+        labels = clustering.labels[species]
+        pure = len(set(labels.tolist())) == 1
+        print(
+            f"{name:20s}: {clustering.n_clusters} clusters; species in "
+            f"one cluster: {pure}"
+        )
+        if pure:
+            cluster_id = labels[0]
+            members = clustering.members(cluster_id)
+            names = [str(graph.name_of(m)) for m in members]
+            print(f"{'':22s}cluster contents: {names[:6]}...")
+
+    print(
+        "\nThe species cluster exists because Degree-discounted "
+        "symmetrization\nturns shared in/out-links into direct edges "
+        "— interconnectivity is\nnot the only clue to community "
+        "structure in directed graphs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: cluster a directed graph with the two-stage framework.
+
+Builds a small synthetic citation network with known communities,
+symmetrizes it with the paper's Degree-discounted transformation,
+clusters the result with MLR-MCL, and evaluates against ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    # 1. A directed graph. Here: a synthetic citation network with 12
+    #    planted research fields (see repro.datasets for the full
+    #    generators); in your application, load your own edges with
+    #    repro.DirectedGraph.from_edges or repro.graph.io.
+    dataset = repro.make_cora_like(n_nodes=800, n_categories=12, seed=7)
+    graph = dataset.graph
+    print(f"input: {graph}")
+
+    # 2. Stage 1 — symmetrize. Degree-discounted (Eq. 8 of the paper)
+    #    measures shared in/out-neighbourhoods while discounting hubs.
+    #    The threshold prunes weak similarities (§3.5); pick it with
+    #    repro.choose_threshold_for_degree for a target density.
+    undirected = repro.symmetrize(
+        graph, "degree_discounted", threshold=0.05
+    )
+    print(f"symmetrized: {undirected}")
+
+    # 3. Stage 2 — cluster with any undirected graph clusterer.
+    clustering = repro.MLRMCL().cluster(undirected, n_clusters=12)
+    print(
+        f"found {clustering.n_clusters} clusters, sizes "
+        f"{sorted(clustering.sizes.tolist(), reverse=True)[:8]}..."
+    )
+
+    # 4. Evaluate against ground truth (the §4.3 best-match F-measure).
+    score = repro.average_f_score(clustering, dataset.ground_truth)
+    print(f"average F-score vs ground truth: {score:.1f}")
+
+    # One-liner equivalent via the pipeline object:
+    pipeline = repro.SymmetrizeClusterPipeline(
+        "degree_discounted", "mlrmcl", threshold=0.05
+    )
+    result = pipeline.run(
+        graph, n_clusters=12, ground_truth=dataset.ground_truth
+    )
+    print(
+        f"pipeline: F={result.average_f:.1f} "
+        f"(symmetrize {result.symmetrize_seconds:.2f}s, "
+        f"cluster {result.cluster_seconds:.2f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

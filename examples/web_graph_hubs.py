@@ -1,0 +1,103 @@
+"""Hub nodes and why raw bibliometric similarity fails on web graphs.
+
+Hyperlink graphs are power-law: pages like "Area" or "Population
+density" are linked from a large fraction of the network. In the raw
+bibliometric matrix (AAᵀ + AᵀA) those hubs (a) own the heaviest
+entries and (b) make thresholds impossible to pick — a sparse-enough
+threshold strands half the nodes as singletons (§3.5, §5.3, Table 5).
+Degree-discounting fixes both. This example reproduces the whole
+diagnosis on a synthetic web graph.
+
+Run:  python examples/web_graph_hubs.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.linalg.sparse_utils import top_k_entries
+from repro.pipeline.report import format_table
+from repro.symmetrize.pruning import (
+    choose_threshold_for_degree,
+    prune_graph,
+    singleton_fraction,
+)
+
+
+def main() -> None:
+    dataset = repro.make_wikipedia_like(
+        n_nodes=3000, n_categories=30, seed=1
+    )
+    graph = dataset.graph
+    print(f"{dataset.name}: {graph}")
+    indegrees = graph.in_degrees()
+    print(
+        f"max in-degree {indegrees.max():.0f} vs median "
+        f"{np.median(indegrees):.0f} — hubs are present\n"
+    )
+
+    bib = repro.get_symmetrization("bibliometric").apply(graph)
+    dd = repro.get_symmetrization("degree_discounted").apply(graph)
+
+    # --- Part 1: the heaviest similarity pairs (Table 5) -------------
+    hub_cutoff = np.quantile(indegrees, 0.995)
+
+    def describe(u, label):
+        rows = []
+        for i, j, w in top_k_entries(u.adjacency, 5):
+            touches = indegrees[i] >= hub_cutoff or (
+                indegrees[j] >= hub_cutoff
+            )
+            rows.append([i, j, round(w, 3), "HUB" if touches else "-"])
+        print(
+            format_table(
+                ["node i", "node j", "weight", "hub pair?"],
+                rows,
+                title=f"Top-5 weighted pairs: {label}",
+            )
+        )
+        print()
+
+    describe(bib, "bibliometric (AA' + A'A)")
+    describe(dd, "degree-discounted (Eq. 8)")
+
+    # --- Part 2: the pruning dilemma (§3.5) --------------------------
+    dd_threshold = choose_threshold_for_degree(dd, 20.0)
+    dd_pruned = prune_graph(dd, dd_threshold)
+    # Prune bibliometric to the same edge budget.
+    lo, hi = 0.0, float(bib.adjacency.max())
+    for _ in range(40):
+        mid = (lo + hi) / 2
+        if prune_graph(bib, mid).n_edges > dd_pruned.n_edges:
+            lo = mid
+        else:
+            hi = mid
+    bib_pruned = prune_graph(bib, hi)
+
+    print(
+        format_table(
+            ["Method", "Edges kept", "Singleton fraction"],
+            [
+                [
+                    "bibliometric",
+                    bib_pruned.n_edges,
+                    singleton_fraction(bib_pruned),
+                ],
+                [
+                    "degree-discounted",
+                    dd_pruned.n_edges,
+                    singleton_fraction(dd_pruned),
+                ],
+            ],
+            title="Pruning to a matched edge budget (§5.3)",
+        )
+    )
+    print(
+        "\nDegree-discounting keeps (almost) every node connected at the"
+        "\nsame sparsity, which is what lets subsequent clustering work."
+    )
+
+
+if __name__ == "__main__":
+    main()

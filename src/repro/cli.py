@@ -1,0 +1,360 @@
+"""Command-line interface for the repro library.
+
+Subcommands mirror the library's workflow on plain-text edge lists::
+
+    python -m repro stats       graph.txt
+    python -m repro symmetrize  graph.txt out.txt -m degree_discounted -t 0.05
+    python -m repro cluster     undirected.txt labels.txt -c mlrmcl -k 20
+    python -m repro pipeline    graph.txt labels.txt -m dd -c metis -k 20
+    python -m repro generate    cora out.txt --labels labels.txt -n 1500
+    python -m repro evaluate    labels.txt truth.txt
+
+Graphs are whitespace edge lists (``src dst [weight]``); labels files
+are one integer per line (``-1`` = unlabeled in truth files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.common import (
+    Clustering,
+    available_clusterers,
+    get_clusterer,
+)
+from repro.datasets import (
+    make_cora_like,
+    make_flickr_like,
+    make_livejournal_like,
+    make_wikipedia_like,
+)
+from repro.eval.fmeasure import average_f_score
+from repro.eval.groundtruth import GroundTruth
+from repro.exceptions import ReproError
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.stats import degree_summary, percent_symmetric_links
+from repro.pipeline.pipeline import SymmetrizeClusterPipeline
+from repro.symmetrize.base import (
+    available_symmetrizations,
+    get_symmetrization,
+)
+from repro.symmetrize.pruning import choose_threshold_for_degree
+
+__all__ = ["main", "build_parser"]
+
+_GENERATORS = {
+    "cora": make_cora_like,
+    "wikipedia": make_wikipedia_like,
+    "flickr": make_flickr_like,
+    "livejournal": make_livejournal_like,
+}
+
+
+def _write_labels(labels: np.ndarray, path: str | Path) -> None:
+    Path(path).write_text(
+        "\n".join(str(int(v)) for v in labels) + "\n"
+    )
+
+
+def _read_labels(path: str | Path) -> np.ndarray:
+    values = [
+        int(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+    return np.asarray(values, dtype=np.int64)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Symmetrizations for clustering directed graphs "
+            "(Satuluri & Parthasarathy, EDBT 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="print directed-graph statistics")
+    p.add_argument("graph", help="edge-list file")
+
+    p = sub.add_parser(
+        "symmetrize", help="symmetrize a directed edge list"
+    )
+    p.add_argument("graph", help="input directed edge-list file")
+    p.add_argument("output", help="output undirected edge-list file")
+    p.add_argument(
+        "-m",
+        "--method",
+        default="degree_discounted",
+        help=f"one of: {', '.join(available_symmetrizations())}",
+    )
+    p.add_argument(
+        "-t",
+        "--threshold",
+        type=float,
+        default=0.0,
+        help="prune threshold (0 keeps everything)",
+    )
+    p.add_argument(
+        "--target-degree",
+        type=float,
+        default=None,
+        help=(
+            "choose the threshold automatically for this average "
+            "degree (overrides --threshold; the paper's Sec 5.3.1 "
+            "recipe)"
+        ),
+    )
+
+    p = sub.add_parser(
+        "cluster", help="cluster an undirected edge list"
+    )
+    p.add_argument("graph", help="undirected edge-list file")
+    p.add_argument("output", help="output labels file")
+    p.add_argument(
+        "-c",
+        "--clusterer",
+        default="mlrmcl",
+        help=f"one of: {', '.join(available_clusterers())}",
+    )
+    p.add_argument(
+        "-k", "--n-clusters", type=int, default=None,
+        help="requested cluster count (advisory for mlrmcl/louvain)",
+    )
+
+    p = sub.add_parser(
+        "pipeline",
+        help="symmetrize + cluster a directed edge list in one go",
+    )
+    p.add_argument("graph", help="directed edge-list file")
+    p.add_argument("output", help="output labels file")
+    p.add_argument("-m", "--method", default="degree_discounted")
+    p.add_argument("-c", "--clusterer", default="mlrmcl")
+    p.add_argument("-k", "--n-clusters", type=int, default=None)
+    p.add_argument("-t", "--threshold", type=float, default=0.0)
+    p.add_argument(
+        "--truth", default=None,
+        help="optional ground-truth labels file for Avg-F evaluation",
+    )
+
+    p = sub.add_parser(
+        "generate", help="generate a synthetic benchmark dataset"
+    )
+    p.add_argument("kind", choices=sorted(_GENERATORS))
+    p.add_argument("output", help="output edge-list file")
+    p.add_argument(
+        "--labels", default=None,
+        help="where to write ground-truth labels (datasets with truth)",
+    )
+    p.add_argument("-n", "--n-nodes", type=int, default=None)
+    p.add_argument("-s", "--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "evaluate",
+        help="Avg-F of a labels file against a ground-truth file",
+    )
+    p.add_argument("labels", help="clustering labels file")
+    p.add_argument("truth", help="ground-truth labels file (-1 = none)")
+
+    p = sub.add_parser(
+        "experiment",
+        help="regenerate one of the paper's tables/figures",
+    )
+    p.add_argument(
+        "id",
+        help="experiment id (e.g. table1, fig5a), 'list', or 'all'",
+    )
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset scale multiplier (default 1.0)",
+    )
+    p.add_argument("-s", "--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, directed=True)
+    print(f"nodes:              {graph.n_nodes}")
+    print(f"directed edges:     {graph.n_edges}")
+    print(
+        f"% symmetric links:  "
+        f"{percent_symmetric_links(graph):.1f}"
+    )
+    for label, degrees in (
+        ("out", graph.out_degrees()),
+        ("in", graph.in_degrees()),
+    ):
+        summary = degree_summary(degrees)
+        print(
+            f"{label}-degree:          median {summary.median:.0f}, "
+            f"mean {summary.mean:.1f}, max {summary.max:.0f}, "
+            f"isolated {summary.n_isolated}"
+        )
+    return 0
+
+
+def _cmd_symmetrize(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, directed=True)
+    sym = get_symmetrization(args.method)
+    threshold = args.threshold
+    if args.target_degree is not None:
+        full = sym.apply(graph)
+        threshold = choose_threshold_for_degree(
+            full, args.target_degree
+        )
+        print(f"chosen threshold: {threshold:.6g}")
+    t0 = time.perf_counter()
+    undirected = sym.apply(graph, threshold=threshold)
+    seconds = time.perf_counter() - t0
+    write_edge_list(undirected, args.output)
+    print(
+        f"wrote {undirected.n_edges} undirected edges to "
+        f"{args.output} ({seconds:.2f}s)"
+    )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, directed=False)
+    clusterer = get_clusterer(args.clusterer)
+    t0 = time.perf_counter()
+    clustering = clusterer.cluster(graph, args.n_clusters)
+    seconds = time.perf_counter() - t0
+    _write_labels(clustering.labels, args.output)
+    print(
+        f"found {clustering.n_clusters} clusters in {seconds:.2f}s; "
+        f"labels written to {args.output}"
+    )
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph, directed=True)
+    truth = None
+    if args.truth is not None:
+        truth = GroundTruth.from_labels(_read_labels(args.truth))
+    pipe = SymmetrizeClusterPipeline(
+        args.method, args.clusterer, threshold=args.threshold
+    )
+    result = pipe.run(
+        graph, n_clusters=args.n_clusters, ground_truth=truth
+    )
+    _write_labels(result.clustering.labels, args.output)
+    print(
+        f"symmetrize {result.symmetrize_seconds:.2f}s "
+        f"({result.symmetrized.n_edges} edges), cluster "
+        f"{result.cluster_seconds:.2f}s "
+        f"({result.clustering.n_clusters} clusters)"
+    )
+    if result.average_f is not None:
+        print(f"Avg-F vs ground truth: {result.average_f:.2f}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    factory = _GENERATORS[args.kind]
+    kwargs: dict[str, object] = {"seed": args.seed}
+    if args.n_nodes is not None:
+        kwargs["n_nodes"] = args.n_nodes
+    dataset = factory(**kwargs)  # type: ignore[arg-type]
+    write_edge_list(dataset.graph, args.output)
+    print(f"{dataset.name}: {dataset.graph} -> {args.output}")
+    if args.labels is not None:
+        if dataset.ground_truth is None:
+            print(
+                f"note: {dataset.name} has no ground truth; "
+                "no labels written",
+                file=sys.stderr,
+            )
+        else:
+            # Flatten overlapping truth to primary labels for the CLI.
+            membership = dataset.ground_truth.membership.tocsr()
+            labels = np.full(dataset.n_nodes, -1, dtype=np.int64)
+            for v in range(dataset.n_nodes):
+                start = membership.indptr[v]
+                end = membership.indptr[v + 1]
+                if end > start:
+                    labels[v] = membership.indices[start]
+            _write_labels(labels, args.labels)
+            print(f"ground-truth labels -> {args.labels}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    labels = _read_labels(args.labels)
+    truth_labels = _read_labels(args.truth)
+    clustering = Clustering(labels)
+    truth = GroundTruth.from_labels(truth_labels)
+    score = average_f_score(clustering, truth)
+    print(f"Avg-F: {score:.2f}")
+    return 0
+
+
+def _print_experiment(result, with_chart: bool) -> None:
+    from repro.pipeline.charts import render_series_chart
+
+    print(result.title)
+    print(result.text)
+    if with_chart and result.experiment.startswith("fig"):
+        chart = render_series_chart(result.text)
+        if chart is not None:
+            print()
+            print(chart)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        available_experiments,
+        run_all_experiments,
+        run_experiment,
+    )
+
+    if args.id == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+    if args.id == "all":
+        for result in run_all_experiments(
+            scale=args.scale, seed=args.seed
+        ):
+            _print_experiment(result, with_chart=True)
+            print()
+        return 0
+    result = run_experiment(args.id, scale=args.scale, seed=args.seed)
+    _print_experiment(result, with_chart=True)
+    return 0
+
+
+_COMMANDS = {
+    "stats": _cmd_stats,
+    "symmetrize": _cmd_symmetrize,
+    "cluster": _cmd_cluster,
+    "pipeline": _cmd_pipeline,
+    "generate": _cmd_generate,
+    "evaluate": _cmd_evaluate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,140 @@
+"""Consensus clustering across randomized runs.
+
+The stage-2 algorithms are randomized (coarsening order, seeds,
+initializations) and at laptop scale their output varies noticeably
+run to run (see EXPERIMENTS.md). Consensus clustering is the standard
+variance-control tool: run the base clusterer several times, build the
+*co-association graph* (edge weight = fraction of runs placing two
+nodes together), and cluster that. The consensus graph is itself a
+similarity graph, so the final step reuses any registered clusterer —
+the same compositionality argument the paper makes for its two-stage
+framework.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.cluster.common import (
+    Clustering,
+    GraphClusterer,
+    get_clusterer,
+    register_clusterer,
+)
+from repro.exceptions import ClusteringError
+from repro.graph.ugraph import UndirectedGraph
+
+__all__ = ["ConsensusClusterer", "co_association_matrix"]
+
+
+def co_association_matrix(
+    clusterings: list[Clustering],
+) -> sp.csr_array:
+    """Fraction of clusterings placing each node pair together.
+
+    Built sparsely from each clustering's indicator matrix:
+    ``sum_r H_r H_rᵀ / R``. The diagonal is 1 by construction.
+    """
+    if not clusterings:
+        raise ClusteringError("need at least one clustering")
+    n = clusterings[0].n_nodes
+    total: sp.csr_array | None = None
+    for clustering in clusterings:
+        if clustering.n_nodes != n:
+            raise ClusteringError(
+                "all clusterings must cover the same nodes"
+            )
+        H = clustering.indicator_matrix().tocsr()
+        pairs = (H @ H.T).tocsr()
+        total = pairs if total is None else total + pairs
+    assert total is not None
+    return (total / len(clusterings)).tocsr()
+
+
+@register_clusterer("consensus")
+class ConsensusClusterer(GraphClusterer):
+    """Majority-vote consensus over randomized base runs.
+
+    Parameters
+    ----------
+    base:
+        Base clusterer name or instance. The instance must expose a
+        ``seed`` attribute (all built-in algorithms do) — each run
+        clones it with a different seed.
+    n_runs:
+        Number of base runs to aggregate.
+    final:
+        Clusterer applied to the co-association graph; defaults to
+        the base clusterer's family via ``"mlrmcl"``.
+    agreement_threshold:
+        Co-association entries below this fraction are dropped before
+        the final clustering (majority vote at the default 0.5).
+    seed:
+        Base seed; run ``r`` uses ``seed + r``.
+    """
+
+    def __init__(
+        self,
+        base: str | GraphClusterer = "metis",
+        n_runs: int = 5,
+        final: str | GraphClusterer = "mlrmcl",
+        agreement_threshold: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(base, str):
+            base = get_clusterer(base)
+        if isinstance(final, str):
+            final = get_clusterer(final)
+        if not hasattr(base, "seed"):
+            raise ClusteringError(
+                "base clusterer must expose a 'seed' attribute"
+            )
+        if n_runs < 1:
+            raise ClusteringError("n_runs must be >= 1")
+        if not 0.0 <= agreement_threshold <= 1.0:
+            raise ClusteringError(
+                "agreement_threshold must lie in [0, 1]"
+            )
+        self.base = base
+        self.n_runs = int(n_runs)
+        self.final = final
+        self.agreement_threshold = float(agreement_threshold)
+        self.seed = int(seed)
+
+    def _cluster(
+        self, graph: UndirectedGraph, n_clusters: int | None
+    ) -> Clustering:
+        runs = []
+        for r in range(self.n_runs):
+            member = copy.deepcopy(self.base)
+            member.seed = self.seed + r  # type: ignore[attr-defined]
+            runs.append(member.cluster(graph, n_clusters))
+        consensus = co_association_matrix(runs)
+        if self.agreement_threshold > 0:
+            coo = consensus.tocoo()
+            keep = coo.data >= self.agreement_threshold
+            consensus = sp.coo_array(
+                (coo.data[keep], (coo.row[keep], coo.col[keep])),
+                shape=consensus.shape,
+            ).tocsr()
+        lil = consensus.tolil()
+        lil.setdiag(0.0)
+        consensus = lil.tocsr()
+        consensus.eliminate_zeros()
+        consensus_graph = UndirectedGraph(
+            consensus, node_names=graph.node_names, validate=False
+        )
+        if consensus_graph.adjacency.nnz == 0:
+            # No pair survived the vote: fall back to the best base run
+            # (everything was too unstable to aggregate).
+            return runs[0]
+        return self.final.cluster(consensus_graph, n_clusters)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsensusClusterer(base={self.base!r}, "
+            f"n_runs={self.n_runs})"
+        )

@@ -1,0 +1,161 @@
+"""K-means with k-means++ seeding, on dense embeddings.
+
+Used as the final step of the spectral methods (Shi–Malik, Zhou et
+al., Meila–Pentney WCut): eigenvector rows are embedded points and
+k-means recovers the discrete clustering. Supports per-point weights,
+which the WCut algorithms need (points are weighted by their volume).
+Implemented on numpy only — no sklearn dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ClusteringError
+
+__all__ = ["kmeans", "kmeans_plus_plus_init"]
+
+
+def kmeans_plus_plus_init(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """k-means++ seeding: returns ``k`` initial centroids.
+
+    Each subsequent centroid is sampled with probability proportional
+    to (weighted) squared distance from the nearest chosen centroid.
+    """
+    n = points.shape[0]
+    if k > n:
+        raise ClusteringError(f"k={k} exceeds number of points {n}")
+    if weights is None:
+        weights = np.ones(n)
+    centroids = np.empty((k, points.shape[1]), dtype=np.float64)
+    probs = weights / weights.sum()
+    first = rng.choice(n, p=probs)
+    centroids[0] = points[first]
+    sq_dist = ((points - centroids[0]) ** 2).sum(axis=1)
+    for c in range(1, k):
+        scores = sq_dist * weights
+        total = scores.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centroids;
+            # fill with uniformly random picks.
+            idx = rng.choice(n)
+        else:
+            idx = rng.choice(n, p=scores / total)
+        centroids[c] = points[idx]
+        new_dist = ((points - centroids[c]) ** 2).sum(axis=1)
+        np.minimum(sq_dist, new_dist, out=sq_dist)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator | None = None,
+    weights: np.ndarray | None = None,
+    n_init: int = 5,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+) -> np.ndarray:
+    """Weighted Lloyd's k-means with k-means++ restarts.
+
+    Parameters
+    ----------
+    points:
+        ``(n, d)`` array of embedded points.
+    k:
+        Number of clusters.
+    rng:
+        Random generator (a fixed default seed if omitted).
+    weights:
+        Optional non-negative per-point weights.
+    n_init:
+        Number of k-means++ restarts; the labelling with the lowest
+        weighted inertia wins.
+    max_iter, tol:
+        Lloyd iteration budget / relative inertia improvement floor.
+
+    Returns
+    -------
+    Integer label array of length ``n``. Empty clusters are re-seeded
+    from the point farthest from its centroid, so exactly ``k``
+    clusters are returned whenever ``n >= k``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ClusteringError("points must be a 2-D array")
+    n = points.shape[0]
+    if k < 1:
+        raise ClusteringError("k must be >= 1")
+    if k > n:
+        raise ClusteringError(f"k={k} exceeds number of points {n}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if weights is None:
+        weights = np.ones(n)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n,):
+            raise ClusteringError("weights must have one entry per point")
+        if weights.min() < 0:
+            raise ClusteringError("weights must be non-negative")
+        if weights.sum() == 0:
+            weights = np.ones(n)
+
+    best_labels: np.ndarray | None = None
+    best_inertia = np.inf
+    for _ in range(max(1, n_init)):
+        labels, inertia = _lloyd(points, k, rng, weights, max_iter, tol)
+        if inertia < best_inertia:
+            best_inertia = inertia
+            best_labels = labels
+    assert best_labels is not None
+    return best_labels
+
+
+def _lloyd(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    weights: np.ndarray,
+    max_iter: int,
+    tol: float,
+) -> tuple[np.ndarray, float]:
+    """One k-means run; returns ``(labels, weighted inertia)``."""
+    centroids = kmeans_plus_plus_init(points, k, rng, weights)
+    prev_inertia = np.inf
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    for _ in range(max_iter):
+        # Squared distances to every centroid: ||x||^2 - 2 x.c + ||c||^2
+        cross = points @ centroids.T
+        sq_c = (centroids**2).sum(axis=1)
+        dist = sq_c[None, :] - 2.0 * cross  # ||x||^2 constant in argmin
+        labels = dist.argmin(axis=1)
+        full_dist = dist + (points**2).sum(axis=1, keepdims=True)
+        inertia = float(
+            (weights * full_dist[np.arange(points.shape[0]), labels]).sum()
+        )
+        # Update step (weighted means); re-seed empty clusters.
+        for c in range(k):
+            mask = labels == c
+            w_sum = weights[mask].sum()
+            if w_sum > 0:
+                centroids[c] = (
+                    weights[mask, None] * points[mask]
+                ).sum(axis=0) / w_sum
+            else:
+                farthest = int(
+                    np.argmax(
+                        full_dist[np.arange(points.shape[0]), labels]
+                    )
+                )
+                centroids[c] = points[farthest]
+                labels[farthest] = c
+        if prev_inertia - inertia <= tol * max(abs(prev_inertia), 1.0):
+            break
+        prev_inertia = inertia
+    return labels, inertia

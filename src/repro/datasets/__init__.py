@@ -1,0 +1,32 @@
+"""Synthetic stand-ins for the paper's four datasets (§4.1, Table 1).
+
+The paper evaluates on Wikipedia (1.13M nodes), Cora (17.6k), Flickr
+(1.86M) and LiveJournal (5.28M). Those corpora are not redistributable
+here, so this package generates scaled-down synthetic graphs that
+reproduce the *properties the paper's analysis depends on* — power-law
+degrees, hub nodes, reciprocity levels, overlapping/partial ground
+truth, and Figure-1-style shared-neighbour clusters. See DESIGN.md §2
+for the substitution rationale, and :mod:`repro.datasets.motifs` for
+the Figure-1 / Guzmania case-study graphs.
+"""
+
+from repro.datasets.motifs import guzmania_motif
+from repro.datasets.storage import load_dataset, save_dataset
+from repro.datasets.synthetic import (
+    Dataset,
+    make_cora_like,
+    make_flickr_like,
+    make_livejournal_like,
+    make_wikipedia_like,
+)
+
+__all__ = [
+    "Dataset",
+    "make_cora_like",
+    "make_wikipedia_like",
+    "make_flickr_like",
+    "make_livejournal_like",
+    "guzmania_motif",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,118 @@
+"""Case-study motif graphs (Figure 1, §5.7, Figure 10).
+
+The paper's qualitative argument rests on clusters whose members
+*never link to one another* but share in-links and out-links — the
+idealized Figure-1 graph and the real Wikipedia "Guzmania" cluster
+(plant species of one genus: each species page points to the genus
+page, the order "Poales", the country "Ecuador", …, and is pointed to
+by the genus page and list pages, while species pages do not link to
+each other).
+
+:func:`guzmania_motif` builds a named synthetic replica of Figure 10
+usable in tests, examples and the §5.7 case-study benchmark. The
+idealized Figure-1 graph itself lives in
+:func:`repro.graph.generators.figure1_graph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DirectedGraph
+
+__all__ = ["guzmania_motif"]
+
+
+def guzmania_motif(
+    n_species: int = 10,
+    n_shared_targets: int = 4,
+    n_list_pages: int = 2,
+    with_background: bool = True,
+    seed: int = 0,
+) -> tuple[DirectedGraph, dict[str, list[int]]]:
+    """A named replica of the paper's Guzmania subgraph (Figure 10).
+
+    Structure (all names in the returned role dict):
+
+    - ``species``: the cluster members (e.g. *Guzmania lingulata*).
+      Each points to the genus page and to every shared target; none
+      points to another species.
+    - ``genus``: the "Guzmania" page — points to every species and is
+      pointed to by every species (mutual links, as in the paper).
+    - ``shared_targets``: pages like "Poales", "Ecuador" that all
+      species point to.
+    - ``list_pages``: pages like "List of Bromeliaceae" that point to
+      every species.
+    - ``background``: optional unrelated pages the shared targets link
+      out to, so the targets are not artificially low-degree.
+
+    Returns the graph (with human-readable node names) and the role
+    dict mapping role names to node indices.
+    """
+    if n_species < 2:
+        raise DatasetError("need at least two species")
+    if n_shared_targets < 1 or n_list_pages < 0:
+        raise DatasetError("need >= 1 shared target and >= 0 list pages")
+    rng = np.random.default_rng(seed)
+    names: list[str] = []
+
+    def add(name: str) -> int:
+        names.append(name)
+        return len(names) - 1
+
+    genus = add("Guzmania")
+    species = [add(f"Guzmania species {i}") for i in range(n_species)]
+    targets = [
+        add(t)
+        for t in (
+            ["Poales", "Ecuador", "Bromeliaceae", "Plant"][
+                :n_shared_targets
+            ]
+            + [
+                f"Shared target {i}"
+                for i in range(max(0, n_shared_targets - 4))
+            ]
+        )
+    ]
+    lists = [add(f"List of Bromeliaceae {i}") for i in range(n_list_pages)]
+    background = []
+    if with_background:
+        background = [add(f"Background page {i}") for i in range(8)]
+
+    edges: list[tuple[int, int]] = []
+    for s in species:
+        edges.append((genus, s))
+        edges.append((s, genus))
+        for t in targets:
+            edges.append((s, t))
+    for lp in lists:
+        for s in species:
+            edges.append((lp, s))
+        edges.append((lp, genus))
+    for t in targets:
+        for b in background:
+            if rng.random() < 0.5:
+                edges.append((t, b))
+    for b in background:
+        for b2 in background:
+            if b != b2 and rng.random() < 0.2:
+                edges.append((b, b2))
+
+    n = len(names)
+    rows = np.array([e[0] for e in edges])
+    cols = np.array([e[1] for e in edges])
+    adj = sp.coo_array(
+        (np.ones(rows.size), (rows, cols)), shape=(n, n)
+    ).tocsr()
+    adj.data[:] = 1.0
+    graph = DirectedGraph(adj, node_names=names)
+    roles = {
+        "genus": [genus],
+        "species": species,
+        "shared_targets": targets,
+        "list_pages": lists,
+        "background": background,
+    }
+    return graph, roles

@@ -1,0 +1,129 @@
+"""Saving and loading datasets (graph + overlapping ground truth).
+
+The CLI's ``generate`` command writes plain edge lists and flattened
+labels, which loses overlapping category memberships. This module
+round-trips a full :class:`~repro.datasets.synthetic.Dataset` through
+a directory::
+
+    dataset/
+      graph.txt          # directed edge list
+      ground_truth.json  # overlapping memberships (absent if none)
+      meta.json          # name + description
+
+so generated benchmark instances can be shared and reloaded exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.datasets.synthetic import Dataset
+from repro.eval.groundtruth import GroundTruth
+from repro.exceptions import DatasetError
+from repro.graph.io import read_edge_list, write_edge_list
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_GRAPH_FILE = "graph.txt"
+_TRUTH_FILE = "ground_truth.json"
+_META_FILE = "meta.json"
+
+
+def save_dataset(dataset: Dataset, directory: str | Path) -> Path:
+    """Write ``dataset`` to ``directory`` (created if needed).
+
+    Returns the directory path. Overwrites existing files of the same
+    names; refuses to write into a path that exists as a file.
+    """
+    path = Path(directory)
+    if path.exists() and not path.is_dir():
+        raise DatasetError(f"{path} exists and is not a directory")
+    path.mkdir(parents=True, exist_ok=True)
+    write_edge_list(dataset.graph, path / _GRAPH_FILE)
+    meta = {
+        "name": dataset.name,
+        "description": dataset.description,
+        "n_nodes": dataset.n_nodes,
+    }
+    with (path / _META_FILE).open("w") as f:
+        json.dump(meta, f, indent=2)
+    truth_path = path / _TRUTH_FILE
+    if dataset.ground_truth is not None:
+        membership = dataset.ground_truth.membership.tocoo()
+        payload = {
+            "n_nodes": dataset.ground_truth.n_nodes,
+            "n_categories": dataset.ground_truth.n_categories,
+            "category_names": dataset.ground_truth.category_names,
+            "memberships": [
+                [int(i), int(j)]
+                for i, j in zip(membership.row, membership.col)
+            ],
+        }
+        with truth_path.open("w") as f:
+            json.dump(payload, f)
+    elif truth_path.exists():
+        truth_path.unlink()
+    return path
+
+
+def load_dataset(directory: str | Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(directory)
+    graph_path = path / _GRAPH_FILE
+    meta_path = path / _META_FILE
+    if not graph_path.exists() or not meta_path.exists():
+        raise DatasetError(
+            f"{path} does not contain a saved dataset "
+            f"(need {_GRAPH_FILE} and {_META_FILE})"
+        )
+    with meta_path.open() as f:
+        meta = json.load(f)
+    try:
+        name = str(meta["name"])
+        description = str(meta["description"])
+        n_nodes = int(meta["n_nodes"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(f"{meta_path}: malformed metadata") from exc
+    graph = read_edge_list(graph_path, directed=True, n_nodes=n_nodes)
+    if graph.n_nodes != n_nodes:
+        raise DatasetError(
+            f"{graph_path}: {graph.n_nodes} nodes but metadata "
+            f"declares {n_nodes}"
+        )
+    ground_truth = None
+    truth_path = path / _TRUTH_FILE
+    if truth_path.exists():
+        with truth_path.open() as f:
+            payload = json.load(f)
+        try:
+            rows = [int(m[0]) for m in payload["memberships"]]
+            cols = [int(m[1]) for m in payload["memberships"]]
+            shape = (
+                int(payload["n_nodes"]),
+                int(payload["n_categories"]),
+            )
+            names = payload.get("category_names")
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            raise DatasetError(
+                f"{truth_path}: malformed ground truth"
+            ) from exc
+        membership = sp.csr_array(
+            (np.ones(len(rows)), (rows, cols)), shape=shape
+        )
+        ground_truth = GroundTruth(membership, category_names=names)
+        if ground_truth.n_nodes != graph.n_nodes:
+            raise DatasetError(
+                f"{truth_path}: ground truth covers "
+                f"{ground_truth.n_nodes} nodes but the graph has "
+                f"{graph.n_nodes}"
+            )
+    return Dataset(
+        name=name,
+        graph=graph,
+        ground_truth=ground_truth,
+        description=description,
+    )

@@ -1,0 +1,36 @@
+"""Directed-graph clustering baselines and cut objectives (§2).
+
+The paper contrasts its symmetrization framework against the directed
+normalized-cut line of work:
+
+- :mod:`~repro.directed.objectives` — Ncut (Eq. 1), directed Ncut
+  (Eq. 3) and the Meila–Pentney weighted cut WCut (Eq. 4).
+- :mod:`~repro.directed.laplacian` — the directed Laplacian (Eq. 5).
+- :class:`ZhouDirectedSpectral` — Zhou, Huang & Schölkopf's directed
+  spectral clustering (the method that "did not finish execution" on
+  the paper's datasets).
+- :class:`WCutSpectral` / :func:`best_wcut` — Meila & Pentney's
+  weighted-cut spectral clustering (the BestWCut baseline of
+  Figures 6a/6b).
+"""
+
+from repro.directed.laplacian import directed_laplacian
+from repro.directed.objectives import (
+    clustering_ncut,
+    ncut,
+    ncut_directed,
+    wcut,
+)
+from repro.directed.wcut import WCutSpectral, best_wcut
+from repro.directed.zhou import ZhouDirectedSpectral
+
+__all__ = [
+    "ncut",
+    "ncut_directed",
+    "wcut",
+    "clustering_ncut",
+    "directed_laplacian",
+    "ZhouDirectedSpectral",
+    "WCutSpectral",
+    "best_wcut",
+]

@@ -1,0 +1,55 @@
+"""The directed Laplacian of Chung / Zhou et al. (Eq. 5).
+
+``L = I - (Pi^{1/2} P Pi^{-1/2} + Pi^{-1/2} Pᵀ Pi^{1/2}) / 2``
+
+where ``P`` is the random-walk transition matrix and ``Pi`` the
+diagonal matrix of its stationary distribution. This is the operator
+the directed spectral clustering methods (§2.1) eigendecompose — and
+whose cost motivates the paper's symmetrize-then-cluster alternative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.digraph import DirectedGraph
+from repro.linalg.pagerank import pagerank, transition_matrix
+
+__all__ = ["directed_laplacian", "directed_normalized_adjacency"]
+
+
+def directed_normalized_adjacency(
+    graph: DirectedGraph,
+    teleport: float = 0.05,
+    pi: np.ndarray | None = None,
+) -> sp.csr_array:
+    """The symmetric operator ``(Pi^½ P Pi^-½ + Pi^-½ Pᵀ Pi^½)/2``.
+
+    Its top eigenvectors are the bottom eigenvectors of the directed
+    Laplacian (Eq. 5). ``pi`` defaults to the teleporting stationary
+    distribution (teleport 0.05, as in the paper's setup §4.2).
+    """
+    P, _ = transition_matrix(graph)
+    if pi is None:
+        pi = pagerank(graph, teleport=teleport)
+    pi = np.asarray(pi, dtype=np.float64)
+    sqrt_pi = np.sqrt(np.maximum(pi, 0.0))
+    inv_sqrt = np.divide(
+        1.0, sqrt_pi, out=np.zeros_like(sqrt_pi), where=sqrt_pi > 0
+    )
+    left = sp.diags_array(sqrt_pi).tocsr()
+    right = sp.diags_array(inv_sqrt).tocsr()
+    theta = (left @ P @ right).tocsr()
+    return ((theta + theta.T) * 0.5).tocsr()
+
+
+def directed_laplacian(
+    graph: DirectedGraph,
+    teleport: float = 0.05,
+    pi: np.ndarray | None = None,
+) -> sp.csr_array:
+    """The directed Laplacian ``L`` of Eq. 5 (symmetric PSD)."""
+    theta = directed_normalized_adjacency(graph, teleport=teleport, pi=pi)
+    eye = sp.eye_array(graph.n_nodes, format="csr")
+    return (eye - theta).tocsr()

@@ -1,0 +1,185 @@
+"""Cut objectives for undirected and directed graphs (Eqs. 1–4).
+
+These are the quantities the prior work the paper reviews (§2)
+optimizes, and the quantities our tests use to verify Gleich's
+equivalence: the undirected Ncut of any vertex set on the random-walk
+symmetrized graph equals the directed Ncut of the same set on the
+original directed graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import EvaluationError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.ugraph import UndirectedGraph
+from repro.linalg.pagerank import pagerank, transition_matrix
+
+__all__ = [
+    "ncut",
+    "ncut_directed",
+    "wcut",
+    "conductance",
+    "clustering_ncut",
+]
+
+
+def _as_mask(subset: object, n: int) -> np.ndarray:
+    """Normalize a subset spec (indices or boolean mask) to a mask."""
+    arr = np.asarray(subset)
+    if arr.dtype == bool:
+        if arr.shape != (n,):
+            raise EvaluationError("boolean mask has wrong length")
+        mask = arr.copy()
+    else:
+        mask = np.zeros(n, dtype=bool)
+        if arr.size:
+            if arr.min() < 0 or arr.max() >= n:
+                raise EvaluationError("subset index out of range")
+            mask[arr] = True
+    if not mask.any() or mask.all():
+        raise EvaluationError(
+            "subset must be a proper non-empty subset of the nodes"
+        )
+    return mask
+
+
+def ncut(graph: UndirectedGraph, subset: object) -> float:
+    """Normalized cut of a vertex set ``S`` (Eq. 1).
+
+    ``Ncut(S) = cut(S, S̄)/vol(S) + cut(S̄, S)/vol(S̄)`` with volumes
+    the sums of (weighted) degrees. Zero-volume sides make the
+    objective infinite by convention.
+    """
+    n = graph.n_nodes
+    mask = _as_mask(subset, n)
+    adj = graph.adjacency
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    cut_weight = float(adj[mask][:, ~mask].sum())
+    vol_s = float(degrees[mask].sum())
+    vol_rest = float(degrees[~mask].sum())
+    if vol_s == 0 or vol_rest == 0:
+        return float("inf")
+    return cut_weight / vol_s + cut_weight / vol_rest
+
+
+def ncut_directed(
+    graph: DirectedGraph,
+    subset: object,
+    teleport: float = 1e-3,
+    pi: np.ndarray | None = None,
+) -> float:
+    """Directed normalized cut (Eq. 3).
+
+    ``Ncut_dir(S)`` is the probability that a stationary random walk
+    crosses from ``S`` to ``S̄`` (or back) in one step, normalized by
+    the stationary mass of each side::
+
+        sum_{i in S, j in S̄} pi_i P_ij / pi(S)
+      + sum_{j in S̄, i in S} pi_j P_ji / pi(S̄)
+
+    ``pi`` defaults to the teleporting stationary distribution with a
+    small teleport (the exact Eq. 3 uses the teleport-free stationary
+    distribution, which need not exist on arbitrary graphs; a small
+    teleport is the standard regularization and what Zhou et al. do in
+    practice).
+    """
+    n = graph.n_nodes
+    mask = _as_mask(subset, n)
+    P, _ = transition_matrix(graph)
+    if pi is None:
+        pi = pagerank(graph, teleport=teleport)
+    pi = np.asarray(pi, dtype=np.float64)
+    if pi.shape != (n,):
+        raise EvaluationError("pi has wrong length")
+    flow = P.multiply(pi[:, None]).tocsr()  # pi_i * P_ij
+    out_flow = float(flow[mask][:, ~mask].sum())
+    in_flow = float(flow[~mask][:, mask].sum())
+    mass_s = float(pi[mask].sum())
+    mass_rest = float(pi[~mask].sum())
+    if mass_s == 0 or mass_rest == 0:
+        return float("inf")
+    return out_flow / mass_s + in_flow / mass_rest
+
+
+def wcut(
+    graph: DirectedGraph,
+    subset: object,
+    T: np.ndarray,
+    T_prime: np.ndarray,
+) -> float:
+    """Meila–Pentney weighted cut (Eq. 4).
+
+    ``WCut(S) = sum_{i in S, j in S̄} T'(i) A(i, j) / sum_{i in S} T(i)
+              + sum_{j in S̄, i in S} T'(j) A(j, i) / sum_{j in S̄} T(j)``
+
+    Plugging ``A := P`` (the transition matrix), ``T' = T = pi``
+    recovers ``Ncut_dir``; with a symmetric ``A``, ``T' = 1`` and
+    ``T = degree`` it recovers the plain Ncut. Our tests verify both
+    recoveries.
+    """
+    n = graph.n_nodes
+    mask = _as_mask(subset, n)
+    T = np.asarray(T, dtype=np.float64)
+    T_prime = np.asarray(T_prime, dtype=np.float64)
+    if T.shape != (n,) or T_prime.shape != (n,):
+        raise EvaluationError("T and T' must have one entry per node")
+    adj = graph.adjacency
+    weighted = adj.multiply(T_prime[:, None]).tocsr()  # T'(i) A(i, j)
+    out_cut = float(weighted[mask][:, ~mask].sum())
+    in_cut = float(weighted[~mask][:, mask].sum())
+    denom_s = float(T[mask].sum())
+    denom_rest = float(T[~mask].sum())
+    if denom_s == 0 or denom_rest == 0:
+        return float("inf")
+    return out_cut / denom_s + in_cut / denom_rest
+
+
+def conductance(graph: UndirectedGraph, subset: object) -> float:
+    """Conductance of a vertex set (§2.1's "closely related" cousin
+    of Ncut).
+
+    ``phi(S) = cut(S, S̄) / min(vol(S), vol(S̄))`` — like Ncut it is
+    low for well-separated dense groups, but normalizes by the smaller
+    side only. Included because the paper frames the normalized-cut
+    literature through it (Kannan, Vempala & Vetta).
+    """
+    n = graph.n_nodes
+    mask = _as_mask(subset, n)
+    adj = graph.adjacency
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    cut_weight = float(adj[mask][:, ~mask].sum())
+    vol_s = float(degrees[mask].sum())
+    vol_rest = float(degrees[~mask].sum())
+    smaller = min(vol_s, vol_rest)
+    if smaller == 0:
+        return float("inf")
+    return cut_weight / smaller
+
+
+def clustering_ncut(graph: UndirectedGraph, labels: np.ndarray) -> float:
+    """Sum of per-cluster Ncut values of a full clustering.
+
+    The standard k-way normalized-cut objective; the paper uses it
+    (§5.4) to explain why degree-discounted graphs cluster faster —
+    their normalized cuts are much lower, indicating well-separated
+    clusters. Clusters covering the whole graph or with zero volume are
+    skipped (they contribute no cut).
+    """
+    labels = np.asarray(labels)
+    if labels.shape != (graph.n_nodes,):
+        raise EvaluationError("labels must have one entry per node")
+    adj = graph.adjacency
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    total_vol = float(degrees.sum())
+    result = 0.0
+    for c in np.unique(labels):
+        mask = labels == c
+        vol = float(degrees[mask].sum())
+        if vol == 0 or vol == total_vol:
+            continue
+        internal = float(adj[mask][:, mask].sum())
+        cut_weight = vol - internal
+        result += cut_weight / vol
+    return result

@@ -1,0 +1,41 @@
+"""Cluster-quality evaluation (§4.3, §5.6).
+
+- :class:`GroundTruth` — possibly-overlapping ground-truth categories
+  with unlabeled nodes, as in the paper's Wikipedia (17,950
+  overlapping categories, 35% unlabeled) and Cora (70 leaf classes,
+  20% unlabeled) datasets.
+- :func:`average_f_score` — the micro-averaged best-match F-measure of
+  §4.3 (the y-axis of Figures 5–7).
+- :func:`sign_test` — the paired binomial sign test of §5.6.
+"""
+
+from repro.directed.objectives import clustering_ncut
+from repro.eval.agreement import (
+    adjusted_rand_index,
+    flatten_ground_truth,
+    normalized_mutual_information,
+    purity,
+)
+from repro.eval.fmeasure import (
+    FScoreReport,
+    average_f_score,
+    correctly_clustered_mask,
+    f_score_report,
+)
+from repro.eval.groundtruth import GroundTruth
+from repro.eval.significance import SignTestResult, sign_test
+
+__all__ = [
+    "GroundTruth",
+    "average_f_score",
+    "f_score_report",
+    "FScoreReport",
+    "correctly_clustered_mask",
+    "sign_test",
+    "SignTestResult",
+    "clustering_ncut",
+    "purity",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "flatten_ground_truth",
+]

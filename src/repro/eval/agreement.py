@@ -1,0 +1,146 @@
+"""Partition-agreement metrics: purity, NMI, adjusted Rand index.
+
+The paper evaluates with its best-match F-measure (§4.3); these
+standard external metrics are provided as cross-checks (a method that
+wins on Avg-F but loses on NMI/ARI would be suspicious) and for users
+whose ground truth is a flat partition.
+
+All three operate on *flat* labelings. For the library's overlapping
+:class:`~repro.eval.groundtruth.GroundTruth`, use
+:func:`flatten_ground_truth` first (each node keeps its first
+category; unlabeled nodes are excluded from the comparison).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.common import Clustering
+from repro.eval.groundtruth import GroundTruth
+from repro.exceptions import EvaluationError
+
+__all__ = [
+    "purity",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "flatten_ground_truth",
+]
+
+
+def _contingency(
+    labels_a: np.ndarray, labels_b: np.ndarray
+) -> np.ndarray:
+    """Dense contingency table of two label vectors."""
+    a = np.asarray(labels_a, dtype=np.int64)
+    b = np.asarray(labels_b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise EvaluationError(
+            "label vectors must be 1-D and equally long"
+        )
+    if a.size == 0:
+        raise EvaluationError("cannot compare empty labelings")
+    if a.min() < 0 or b.min() < 0:
+        raise EvaluationError(
+            "labels must be non-negative (mask out unlabeled nodes "
+            "before comparing)"
+        )
+    table = np.zeros((a.max() + 1, b.max() + 1), dtype=np.int64)
+    np.add.at(table, (a, b), 1)
+    return table
+
+
+def purity(labels: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of nodes whose cluster's majority category is theirs.
+
+    ``purity = (1/n) * sum_clusters max_category overlap`` — easy to
+    game with many tiny clusters, which is why the paper prefers the
+    recall-aware F-measure; included as the simplest sanity metric.
+    """
+    table = _contingency(labels, truth)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+def normalized_mutual_information(
+    labels: np.ndarray, truth: np.ndarray
+) -> float:
+    """NMI with arithmetic-mean normalization, in [0, 1].
+
+    ``NMI = 2 I(A; B) / (H(A) + H(B))``. 1 for identical partitions
+    (up to relabeling), ~0 for independent ones. Degenerate cases
+    (either side a single cluster) return 0 by convention unless both
+    are single clusters and identical, which returns 1.
+    """
+    table = _contingency(labels, truth).astype(np.float64)
+    n = table.sum()
+    p_joint = table / n
+    p_a = p_joint.sum(axis=1)
+    p_b = p_joint.sum(axis=0)
+
+    def entropy(p: np.ndarray) -> float:
+        nz = p > 0
+        return float(-(p[nz] * np.log(p[nz])).sum())
+
+    h_a, h_b = entropy(p_a), entropy(p_b)
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0
+    if h_a == 0.0 or h_b == 0.0:
+        return 0.0
+    outer = np.outer(p_a, p_b)
+    nz = p_joint > 0
+    mutual = float(
+        (p_joint[nz] * np.log(p_joint[nz] / outer[nz])).sum()
+    )
+    return 2.0 * mutual / (h_a + h_b)
+
+
+def adjusted_rand_index(
+    labels: np.ndarray, truth: np.ndarray
+) -> float:
+    """Adjusted Rand index (chance-corrected pair agreement).
+
+    1 for identical partitions, ≈0 for random ones, can be negative
+    for adversarial disagreement.
+    """
+    table = _contingency(labels, truth).astype(np.float64)
+    n = table.sum()
+
+    def comb2(x: np.ndarray | float) -> np.ndarray | float:
+        return x * (x - 1.0) / 2.0
+
+    sum_cells = float(comb2(table).sum())
+    sum_rows = float(comb2(table.sum(axis=1)).sum())
+    sum_cols = float(comb2(table.sum(axis=0)).sum())
+    total_pairs = float(comb2(n))
+    expected = sum_rows * sum_cols / total_pairs if total_pairs else 0.0
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0 if sum_cells == expected else 0.0
+    return (sum_cells - expected) / (max_index - expected)
+
+
+def flatten_ground_truth(
+    clustering: Clustering, ground_truth: GroundTruth
+) -> tuple[np.ndarray, np.ndarray]:
+    """Align a clustering with (possibly overlapping) ground truth.
+
+    Returns ``(labels, truth)`` restricted to labeled nodes, with each
+    node's *first* category as its flat truth label — the standard way
+    to apply partition metrics to overlapping annotations.
+    """
+    if clustering.n_nodes != ground_truth.n_nodes:
+        raise EvaluationError(
+            f"clustering covers {clustering.n_nodes} nodes but ground "
+            f"truth covers {ground_truth.n_nodes}"
+        )
+    membership = ground_truth.membership.tocsr()
+    labeled = ground_truth.labeled_mask()
+    first_category = np.full(ground_truth.n_nodes, -1, dtype=np.int64)
+    counts = np.diff(membership.indptr)
+    has = counts > 0
+    first_category[has] = membership.indices[
+        membership.indptr[:-1][has]
+    ]
+    idx = np.flatnonzero(labeled)
+    if idx.size == 0:
+        raise EvaluationError("ground truth labels no nodes")
+    return clustering.labels[idx], first_category[idx]

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except ReproError`` clause while letting programming errors
+(``TypeError`` from misuse of numpy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "GraphFormatError",
+    "SymmetrizationError",
+    "ClusteringError",
+    "ConvergenceError",
+    "EvaluationError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or operation (e.g. non-square matrix)."""
+
+
+class GraphFormatError(GraphError):
+    """A graph file could not be parsed (bad edge list, bad METIS header)."""
+
+
+class SymmetrizationError(ReproError):
+    """A symmetrization could not be computed or was misconfigured."""
+
+
+class ClusteringError(ReproError):
+    """A clustering algorithm received invalid input (e.g. k > n)."""
+
+
+class ConvergenceError(ClusteringError):
+    """An iterative method failed to converge within its iteration budget."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation was asked to compare incompatible clusterings/labels."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator was given unsatisfiable parameters."""

@@ -1,0 +1,41 @@
+"""Programmatic experiment runners for the paper's tables and figures.
+
+Each runner regenerates one experiment of the paper's evaluation
+section and returns an :class:`~repro.experiments.support.ExperimentResult`
+carrying both the formatted text block and machine-readable values.
+The pytest benchmark harness (``benchmarks/``) and the CLI
+(``python -m repro experiment <id>``) both delegate here, so the
+experiment definitions live in exactly one place.
+
+>>> from repro.experiments import run_experiment
+>>> result = run_experiment("table1", scale=0.2)   # doctest: +SKIP
+>>> print(result.text)                             # doctest: +SKIP
+"""
+
+from repro.experiments.runners import (
+    available_experiments,
+    run_all_experiments,
+    run_experiment,
+)
+from repro.experiments.support import (
+    DISPLAY,
+    SYMMETRIZATIONS,
+    DatasetBundle,
+    ExperimentResult,
+    full_symmetrization,
+    match_edge_budget,
+    pruned_symmetrization,
+)
+
+__all__ = [
+    "run_experiment",
+    "run_all_experiments",
+    "available_experiments",
+    "ExperimentResult",
+    "DatasetBundle",
+    "SYMMETRIZATIONS",
+    "DISPLAY",
+    "full_symmetrization",
+    "pruned_symmetrization",
+    "match_edge_budget",
+]

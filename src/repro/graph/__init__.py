@@ -1,0 +1,21 @@
+"""Graph substrate: directed/undirected sparse graphs, IO, generators, stats.
+
+This subpackage provides the data structures every other part of the
+library builds on:
+
+- :class:`~repro.graph.digraph.DirectedGraph` — a CSR-backed directed
+  graph with optional node names, the input type of every symmetrization.
+- :class:`~repro.graph.ugraph.UndirectedGraph` — a symmetric CSR-backed
+  weighted graph, the output type of every symmetrization and the input
+  type of every clustering algorithm.
+- :mod:`~repro.graph.io` — plain-text edge-list, METIS and JSON formats.
+- :mod:`~repro.graph.generators` — random directed graph models
+  (directed SBM, power-law/preferential attachment, Kronecker,
+  list-pattern motifs) used to build the synthetic datasets.
+- :mod:`~repro.graph.stats` — degree distributions and reciprocity.
+"""
+
+from repro.graph.digraph import DirectedGraph
+from repro.graph.ugraph import UndirectedGraph
+
+__all__ = ["DirectedGraph", "UndirectedGraph"]

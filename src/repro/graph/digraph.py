@@ -1,0 +1,322 @@
+"""A CSR-backed directed graph.
+
+:class:`DirectedGraph` is the input type of every symmetrization in
+:mod:`repro.symmetrize`. It is a thin, validated wrapper around a
+``scipy.sparse.csr_array`` adjacency matrix ``A`` where ``A[i, j] > 0``
+means there is a directed edge ``i -> j`` with that weight — the same
+convention the paper uses (in a citation graph, paper *i* cites paper
+*j*).
+
+Design notes
+------------
+- The wrapper is immutable by convention: operations return new graphs.
+- Node names are optional; algorithms work on integer indices, names are
+  for reporting (e.g. the "top weighted edges" table of the paper).
+- Validation is on by default and checked once at construction so the
+  rest of the library can assume a canonical, non-negative CSR matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+
+__all__ = ["DirectedGraph"]
+
+
+def _as_csr(matrix: object) -> sp.csr_array:
+    """Convert any scipy-sparse / dense 2-D input to a canonical csr_array."""
+    if isinstance(matrix, sp.csr_array):
+        csr = matrix.copy()
+    elif sp.issparse(matrix):
+        csr = sp.csr_array(matrix)
+    else:
+        arr = np.asarray(matrix)
+        if arr.ndim != 2:
+            raise GraphError(f"adjacency must be 2-D, got shape {arr.shape}")
+        csr = sp.csr_array(arr)
+    csr = csr.astype(np.float64)
+    csr.sum_duplicates()
+    csr.eliminate_zeros()
+    csr.sort_indices()
+    return csr
+
+
+class DirectedGraph:
+    """A weighted directed graph stored as a CSR adjacency matrix.
+
+    Parameters
+    ----------
+    adjacency:
+        Square matrix-like (scipy sparse or dense). ``adjacency[i, j]``
+        is the weight of the directed edge ``i -> j``; zero means no edge.
+    node_names:
+        Optional sequence of ``n`` hashable names (usually strings) used
+        in reports. Defaults to ``None`` (integer indices are used).
+    validate:
+        If true (default), reject non-square matrices and negative
+        weights at construction time.
+
+    Examples
+    --------
+    >>> g = DirectedGraph.from_edges([(0, 1), (1, 2)], n_nodes=3)
+    >>> g.n_nodes, g.n_edges
+    (3, 2)
+    >>> g.has_edge(0, 1), g.has_edge(1, 0)
+    (True, False)
+    """
+
+    __slots__ = ("_adj", "_names", "_name_index")
+
+    def __init__(
+        self,
+        adjacency: object,
+        node_names: Sequence[object] | None = None,
+        validate: bool = True,
+    ) -> None:
+        csr = _as_csr(adjacency)
+        if validate:
+            if csr.shape[0] != csr.shape[1]:
+                raise GraphError(
+                    f"adjacency must be square, got shape {csr.shape}"
+                )
+            if csr.nnz and csr.data.min() < 0:
+                raise GraphError("edge weights must be non-negative")
+            if csr.nnz and not np.all(np.isfinite(csr.data)):
+                raise GraphError("edge weights must be finite")
+        self._adj = csr
+        if node_names is not None:
+            names = list(node_names)
+            if len(names) != csr.shape[0]:
+                raise GraphError(
+                    f"{len(names)} node names for {csr.shape[0]} nodes"
+                )
+            self._names: list[object] | None = names
+        else:
+            self._names = None
+        self._name_index: dict[object, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int] | tuple[int, int, float]],
+        n_nodes: int | None = None,
+        node_names: Sequence[object] | None = None,
+    ) -> "DirectedGraph":
+        """Build a graph from an iterable of ``(src, dst)`` or
+        ``(src, dst, weight)`` tuples.
+
+        Duplicate edges have their weights summed. ``n_nodes`` defaults
+        to ``max(index) + 1``.
+        """
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        for edge in edges:
+            if len(edge) == 2:
+                i, j = edge  # type: ignore[misc]
+                w = 1.0
+            elif len(edge) == 3:
+                i, j, w = edge  # type: ignore[misc]
+            else:
+                raise GraphError(f"edge must have 2 or 3 entries, got {edge!r}")
+            rows.append(int(i))
+            cols.append(int(j))
+            vals.append(float(w))
+        if n_nodes is None:
+            if not rows:
+                raise GraphError(
+                    "cannot infer n_nodes from an empty edge list; "
+                    "pass n_nodes explicitly"
+                )
+            n_nodes = max(max(rows), max(cols)) + 1
+        if rows and (max(rows) >= n_nodes or max(cols) >= n_nodes):
+            raise GraphError(
+                f"edge endpoint out of range for n_nodes={n_nodes}"
+            )
+        if rows and (min(rows) < 0 or min(cols) < 0):
+            raise GraphError("edge endpoints must be non-negative")
+        adj = sp.coo_array(
+            (vals, (rows, cols)), shape=(n_nodes, n_nodes)
+        ).tocsr()
+        return cls(adj, node_names=node_names)
+
+    @classmethod
+    def empty(cls, n_nodes: int) -> "DirectedGraph":
+        """An edgeless directed graph on ``n_nodes`` nodes."""
+        if n_nodes < 0:
+            raise GraphError("n_nodes must be non-negative")
+        return cls(sp.csr_array((n_nodes, n_nodes), dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> sp.csr_array:
+        """The CSR adjacency matrix ``A`` (``A[i, j]`` = weight of i->j)."""
+        return self._adj
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._adj.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        """Number of stored directed edges (non-zero entries of ``A``)."""
+        return int(self._adj.nnz)
+
+    @property
+    def node_names(self) -> list[object] | None:
+        """Node names as supplied at construction, or ``None``."""
+        return None if self._names is None else list(self._names)
+
+    def name_of(self, index: int) -> object:
+        """The name of node ``index`` (the index itself if unnamed)."""
+        if self._names is None:
+            return index
+        return self._names[index]
+
+    def index_of(self, name: object) -> int:
+        """The index of the node called ``name``.
+
+        Raises :class:`~repro.exceptions.GraphError` for unknown names
+        or when the graph is unnamed.
+        """
+        if self._names is None:
+            raise GraphError("graph has no node names")
+        if self._name_index is None:
+            self._name_index = {n: i for i, n in enumerate(self._names)}
+        try:
+            return self._name_index[name]
+        except KeyError:
+            raise GraphError(f"unknown node name: {name!r}") from None
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Whether the directed edge ``i -> j`` exists."""
+        return self.edge_weight(i, j) != 0.0
+
+    def edge_weight(self, i: int, j: int) -> float:
+        """Weight of the edge ``i -> j`` (0.0 if absent)."""
+        start, end = self._adj.indptr[i], self._adj.indptr[i + 1]
+        pos = np.searchsorted(self._adj.indices[start:end], j)
+        if pos < end - start and self._adj.indices[start + pos] == j:
+            return float(self._adj.data[start + pos])
+        return 0.0
+
+    def successors(self, i: int) -> np.ndarray:
+        """Indices ``j`` with an edge ``i -> j``."""
+        start, end = self._adj.indptr[i], self._adj.indptr[i + 1]
+        return self._adj.indices[start:end].copy()
+
+    def predecessors(self, i: int) -> np.ndarray:
+        """Indices ``j`` with an edge ``j -> i``."""
+        csc = self._adj.tocsc()
+        start, end = csc.indptr[i], csc.indptr[i + 1]
+        return np.sort(csc.indices[start:end])
+
+    def edges(self) -> Iterable[tuple[int, int, float]]:
+        """Iterate over ``(src, dst, weight)`` for every stored edge."""
+        coo = self._adj.tocoo()
+        for i, j, w in zip(coo.row, coo.col, coo.data):
+            yield int(i), int(j), float(w)
+
+    # ------------------------------------------------------------------
+    # Degrees
+    # ------------------------------------------------------------------
+    def out_degrees(self, weighted: bool = False) -> np.ndarray:
+        """Out-degree of every node.
+
+        With ``weighted=True`` this is the sum of outgoing edge weights;
+        otherwise the count of outgoing edges.
+        """
+        if weighted:
+            return np.asarray(self._adj.sum(axis=1)).ravel()
+        return np.diff(self._adj.indptr).astype(np.float64)
+
+    def in_degrees(self, weighted: bool = False) -> np.ndarray:
+        """In-degree of every node (count or weighted sum of in-edges)."""
+        if weighted:
+            return np.asarray(self._adj.sum(axis=0)).ravel()
+        counts = np.zeros(self.n_nodes, dtype=np.float64)
+        np.add.at(counts, self._adj.indices, 1.0)
+        return counts
+
+    def total_degrees(self, weighted: bool = False) -> np.ndarray:
+        """Sum of in- and out-degree per node."""
+        return self.out_degrees(weighted) + self.in_degrees(weighted)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "DirectedGraph":
+        """The graph with every edge reversed."""
+        return DirectedGraph(
+            self._adj.T.tocsr(), node_names=self._names, validate=False
+        )
+
+    def with_self_loops(self, weight: float = 1.0) -> "DirectedGraph":
+        """Return ``A + weight * I`` — the paper's §3.3 trick of setting
+        ``A := A + I`` before Bibliometric symmetrization so original
+        edges survive into the symmetrized graph."""
+        eye = sp.eye_array(self.n_nodes, format="csr") * float(weight)
+        return DirectedGraph(
+            (self._adj + eye).tocsr(), node_names=self._names, validate=False
+        )
+
+    def without_self_loops(self) -> "DirectedGraph":
+        """Return a copy with the diagonal removed."""
+        adj = self._adj.tolil(copy=True)
+        adj.setdiag(0.0)
+        return DirectedGraph(
+            adj.tocsr(), node_names=self._names, validate=False
+        )
+
+    def subgraph(self, nodes: Sequence[int]) -> "DirectedGraph":
+        """The induced subgraph on ``nodes`` (order preserved)."""
+        idx = np.asarray(nodes, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_nodes):
+            raise GraphError("subgraph node index out of range")
+        sub = self._adj[idx][:, idx]
+        names = None if self._names is None else [self._names[i] for i in idx]
+        return DirectedGraph(sub, node_names=names, validate=False)
+
+    def largest_weakly_connected_component(self) -> "DirectedGraph":
+        """The induced subgraph on the largest weakly connected component."""
+        n_comp, labels = sp.csgraph.connected_components(
+            self._adj, directed=True, connection="weak"
+        )
+        if n_comp <= 1:
+            return self
+        sizes = np.bincount(labels)
+        keep = np.flatnonzero(labels == sizes.argmax())
+        return self.subgraph(keep)
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        named = "" if self._names is None else ", named"
+        return (
+            f"DirectedGraph(n_nodes={self.n_nodes}, "
+            f"n_edges={self.n_edges}{named})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DirectedGraph):
+            return NotImplemented
+        if self.n_nodes != other.n_nodes:
+            return False
+        diff = (self._adj - other._adj).tocsr()
+        diff.eliminate_zeros()
+        return diff.nnz == 0 and self._names == other._names
+
+    def __hash__(self) -> int:  # graphs are mutable-ish containers
+        raise TypeError("DirectedGraph is not hashable")

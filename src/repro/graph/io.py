@@ -1,0 +1,200 @@
+"""Reading and writing graphs in common plain-text formats.
+
+Three formats are supported:
+
+- **Edge list**: one ``src dst [weight]`` triple per line; ``#`` comments.
+  The format the SNAP / Mislove et al. social-network datasets use.
+- **METIS**: the format consumed by the METIS family of partitioners
+  (1-indexed adjacency lists with a ``n_nodes n_edges [fmt]`` header).
+  Only undirected graphs can be written in this format.
+- **JSON**: a self-describing format that round-trips node names.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphFormatError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.ugraph import UndirectedGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_metis",
+    "write_metis",
+    "read_json_graph",
+    "write_json_graph",
+]
+
+
+def read_edge_list(
+    path: str | Path,
+    directed: bool = True,
+    comment: str = "#",
+    n_nodes: int | None = None,
+) -> DirectedGraph | UndirectedGraph:
+    """Read a whitespace-separated edge list.
+
+    Each non-comment line is ``src dst`` or ``src dst weight`` with
+    integer node ids. Returns a :class:`DirectedGraph` unless
+    ``directed=False``.
+    """
+    edges: list[tuple[int, int, float]] = []
+    path = Path(path)
+    with path.open() as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 2 or 3 fields, got {len(parts)}"
+                )
+            try:
+                src, dst = int(parts[0]), int(parts[1])
+                weight = float(parts[2]) if len(parts) == 3 else 1.0
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+            edges.append((src, dst, weight))
+    if not edges and n_nodes is None:
+        raise GraphFormatError(f"{path}: no edges and no n_nodes given")
+    cls = DirectedGraph if directed else UndirectedGraph
+    return cls.from_edges(edges, n_nodes=n_nodes)
+
+
+def write_edge_list(
+    graph: DirectedGraph | UndirectedGraph,
+    path: str | Path,
+    write_weights: bool = True,
+) -> None:
+    """Write a graph as a ``src dst [weight]`` edge list.
+
+    Undirected graphs write each edge once (``i <= j``)."""
+    path = Path(path)
+    with path.open("w") as f:
+        f.write(f"# nodes: {graph.n_nodes}\n")
+        for i, j, w in graph.edges():
+            if write_weights:
+                f.write(f"{i} {j} {w:g}\n")
+            else:
+                f.write(f"{i} {j}\n")
+
+
+def read_metis(path: str | Path) -> UndirectedGraph:
+    """Read a graph in METIS format (1-indexed adjacency lists).
+
+    Supports the plain and edge-weighted (``fmt`` code 1) variants.
+    """
+    path = Path(path)
+    with path.open() as f:
+        lines = [
+            ln.strip()
+            for ln in f
+            if ln.strip() and not ln.lstrip().startswith("%")
+        ]
+    if not lines:
+        raise GraphFormatError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphFormatError(f"{path}: bad METIS header {lines[0]!r}")
+    n_nodes = int(header[0])
+    declared_edges = int(header[1])
+    fmt = header[2] if len(header) >= 3 else "0"
+    has_edge_weights = fmt.endswith("1")
+    if len(lines) - 1 != n_nodes:
+        raise GraphFormatError(
+            f"{path}: header declares {n_nodes} nodes but file has "
+            f"{len(lines) - 1} adjacency lines"
+        )
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for i, line in enumerate(lines[1:]):
+        fields = line.split()
+        if has_edge_weights:
+            if len(fields) % 2 != 0:
+                raise GraphFormatError(
+                    f"{path}: node {i + 1}: odd number of fields with "
+                    "edge weights enabled"
+                )
+            pairs = zip(fields[0::2], fields[1::2])
+            for nbr_s, w_s in pairs:
+                rows.append(i)
+                cols.append(int(nbr_s) - 1)
+                vals.append(float(w_s))
+        else:
+            for nbr_s in fields:
+                rows.append(i)
+                cols.append(int(nbr_s) - 1)
+                vals.append(1.0)
+    if cols and (min(cols) < 0 or max(cols) >= n_nodes):
+        raise GraphFormatError(f"{path}: neighbor index out of range")
+    adj = sp.coo_array((vals, (rows, cols)), shape=(n_nodes, n_nodes)).tocsr()
+    graph = UndirectedGraph(adj)
+    if graph.n_edges != declared_edges:
+        raise GraphFormatError(
+            f"{path}: header declares {declared_edges} edges, "
+            f"found {graph.n_edges}"
+        )
+    return graph
+
+
+def write_metis(graph: UndirectedGraph, path: str | Path) -> None:
+    """Write an undirected graph in METIS format with edge weights.
+
+    METIS cannot represent self-loops; they are dropped with the weight
+    information preserved on the remaining edges. Edge weights are
+    rounded to positive integers (METIS requires integral weights);
+    weights below 0.5 round up to 1 so no edge silently disappears.
+    """
+    graph = graph.without_self_loops()
+    adj = graph.adjacency
+    path = Path(path)
+    with path.open("w") as f:
+        f.write(f"{graph.n_nodes} {graph.n_edges} 001\n")
+        for i in range(graph.n_nodes):
+            start, end = adj.indptr[i], adj.indptr[i + 1]
+            fields: list[str] = []
+            for j, w in zip(adj.indices[start:end], adj.data[start:end]):
+                int_w = max(1, int(round(w)))
+                fields.append(f"{j + 1} {int_w}")
+            f.write(" ".join(fields) + "\n")
+
+
+def read_json_graph(path: str | Path) -> DirectedGraph | UndirectedGraph:
+    """Read a graph written by :func:`write_json_graph`."""
+    path = Path(path)
+    with path.open() as f:
+        payload = json.load(f)
+    try:
+        directed = bool(payload["directed"])
+        n_nodes = int(payload["n_nodes"])
+        edges = [
+            (int(i), int(j), float(w)) for i, j, w in payload["edges"]
+        ]
+        names = payload.get("node_names")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphFormatError(f"{path}: malformed JSON graph: {exc}") from exc
+    cls = DirectedGraph if directed else UndirectedGraph
+    return cls.from_edges(edges, n_nodes=n_nodes, node_names=names)
+
+
+def write_json_graph(
+    graph: DirectedGraph | UndirectedGraph, path: str | Path
+) -> None:
+    """Write a graph (with node names, if any) as JSON."""
+    payload = {
+        "directed": isinstance(graph, DirectedGraph),
+        "n_nodes": graph.n_nodes,
+        "edges": [[i, j, w] for i, j, w in graph.edges()],
+        "node_names": graph.node_names,
+    }
+    path = Path(path)
+    with path.open("w") as f:
+        json.dump(payload, f)

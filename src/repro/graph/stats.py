@@ -1,0 +1,192 @@
+"""Descriptive statistics of directed and symmetrized graphs.
+
+These are the quantities the paper reports in Table 1 (vertices, edges,
+percentage of symmetric links) and Figure 4 (degree distributions of
+the symmetrized Wikipedia graphs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import DirectedGraph
+from repro.graph.ugraph import UndirectedGraph
+
+__all__ = [
+    "percent_symmetric_links",
+    "degree_histogram",
+    "log_binned_degree_histogram",
+    "DegreeSummary",
+    "degree_summary",
+    "degree_assortativity",
+    "power_law_exponent_estimate",
+]
+
+
+def percent_symmetric_links(graph: DirectedGraph) -> float:
+    """Percentage of directed edges whose reverse edge also exists.
+
+    This is the "Percentage of symmetric links" column of Table 1:
+    42.1 for Wikipedia, 7.7 for Cora, 62.4 for Flickr, 73.4 for
+    LiveJournal. Self-loops are trivially symmetric and counted as such.
+    """
+    adj = graph.adjacency
+    if adj.nnz == 0:
+        return 0.0
+    pattern = adj.copy()
+    pattern.data[:] = 1.0
+    reciprocated = pattern.multiply(pattern.T)
+    return 100.0 * reciprocated.nnz / pattern.nnz
+
+
+def degree_histogram(
+    degrees: np.ndarray, max_degree: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact histogram ``(degree_values, counts)`` of integer degrees."""
+    deg = np.asarray(np.round(degrees), dtype=np.int64)
+    deg = np.clip(deg, 0, None)
+    if max_degree is not None:
+        deg = deg[deg <= max_degree]
+    if deg.size == 0:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    counts = np.bincount(deg)
+    values = np.flatnonzero(counts)
+    return values, counts[values]
+
+
+def log_binned_degree_histogram(
+    degrees: np.ndarray, n_bins: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Log-binned degree histogram ``(bin_centers, counts)``.
+
+    Zero-degree nodes are excluded (they have no defined log-bin); use
+    :func:`degree_summary` to count isolated nodes. This is the form in
+    which Figure 4 plots the degree distributions of the symmetrized
+    Wikipedia graphs.
+    """
+    deg = np.asarray(degrees, dtype=np.float64)
+    deg = deg[deg > 0]
+    if deg.size == 0:
+        return np.array([]), np.array([])
+    lo, hi = deg.min(), deg.max()
+    if lo == hi:
+        return np.array([lo]), np.array([deg.size])
+    edges = np.logspace(np.log10(lo), np.log10(hi), n_bins + 1)
+    counts, _ = np.histogram(deg, bins=edges)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    keep = counts > 0
+    return centers[keep], counts[keep]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Summary of a degree distribution.
+
+    Attributes
+    ----------
+    n_nodes:
+        Total node count.
+    n_isolated:
+        Nodes with degree zero (the "singletons" of §5.3 — the nodes the
+        pruned Bibliometric graph strands).
+    min, median, mean, max:
+        Order statistics of the degree sequence.
+    frac_in_medium_band:
+        Fraction of nodes with degree in ``[band_lo, band_hi]`` — the
+        paper observes Degree-discounted symmetrization concentrates
+        mass in the 50–200 band (the typical cluster size).
+    frac_hubs:
+        Fraction of nodes with degree above ``band_hi`` ("hub" nodes,
+        which Degree-discounting eliminates per Figure 4).
+    band:
+        The ``(band_lo, band_hi)`` thresholds used.
+    """
+
+    n_nodes: int
+    n_isolated: int
+    min: float
+    median: float
+    mean: float
+    max: float
+    frac_in_medium_band: float
+    frac_hubs: float
+    band: tuple[float, float]
+
+
+def degree_summary(
+    degrees: np.ndarray,
+    band: tuple[float, float] = (50.0, 200.0),
+) -> DegreeSummary:
+    """Summarize a degree sequence (see :class:`DegreeSummary`)."""
+    deg = np.asarray(degrees, dtype=np.float64)
+    n = deg.size
+    if n == 0:
+        return DegreeSummary(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, band)
+    lo, hi = band
+    in_band = np.count_nonzero((deg >= lo) & (deg <= hi))
+    hubs = np.count_nonzero(deg > hi)
+    return DegreeSummary(
+        n_nodes=n,
+        n_isolated=int(np.count_nonzero(deg == 0)),
+        min=float(deg.min()),
+        median=float(np.median(deg)),
+        mean=float(deg.mean()),
+        max=float(deg.max()),
+        frac_in_medium_band=in_band / n,
+        frac_hubs=hubs / n,
+        band=band,
+    )
+
+
+def power_law_exponent_estimate(
+    degrees: np.ndarray, d_min: float = 1.0
+) -> float:
+    """Maximum-likelihood estimate of a power-law exponent.
+
+    Uses the standard continuous Hill estimator
+    ``gamma = 1 + n / sum(log(d / d_min))`` over degrees ``>= d_min``.
+    Useful to check the synthetic generators produce the heavy tails
+    the paper's datasets have. Returns ``nan`` when fewer than two
+    degrees qualify.
+    """
+    deg = np.asarray(degrees, dtype=np.float64)
+    deg = deg[deg >= d_min]
+    if deg.size < 2:
+        return float("nan")
+    log_ratio = np.log(deg / d_min)
+    total = log_ratio.sum()
+    if total <= 0:
+        return float("inf")
+    return 1.0 + deg.size / total
+
+
+def degree_assortativity(graph: DirectedGraph) -> float:
+    """Out-degree/in-degree assortativity of the directed edges.
+
+    The Pearson correlation, over edges ``u -> v``, of the source's
+    out-degree with the target's in-degree. Real web/social graphs are
+    typically *disassortative* (hubs link to low-degree nodes and vice
+    versa); the synthetic stand-ins should land in a similar regime.
+    Returns ``nan`` for graphs with fewer than two edges or constant
+    degrees.
+    """
+    adj = graph.adjacency
+    if adj.nnz < 2:
+        return float("nan")
+    out_deg = graph.out_degrees()
+    in_deg = graph.in_degrees()
+    coo = adj.tocoo()
+    x = out_deg[coo.row]
+    y = in_deg[coo.col]
+    if np.all(x == x[0]) or np.all(y == y[0]):
+        return float("nan")
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def undirected_degree_summary(
+    graph: UndirectedGraph, band: tuple[float, float] = (50.0, 200.0)
+) -> DegreeSummary:
+    """Degree summary of an undirected graph (unweighted degrees)."""
+    return degree_summary(graph.degrees(weighted=False), band=band)

@@ -1,0 +1,30 @@
+"""Sparse linear-algebra helpers shared across the library.
+
+- :mod:`~repro.linalg.pagerank` — transition matrices and stationary
+  distributions of random walks (used by the Random-walk symmetrization
+  and the directed spectral baselines).
+- :mod:`~repro.linalg.sparse_utils` — row normalization, degree scaling,
+  pruning and top-k extraction on CSR matrices.
+"""
+
+from repro.linalg.pagerank import (
+    pagerank,
+    stationary_distribution,
+    transition_matrix,
+)
+from repro.linalg.sparse_utils import (
+    degree_scale,
+    prune_matrix,
+    row_normalize,
+    top_k_entries,
+)
+
+__all__ = [
+    "pagerank",
+    "stationary_distribution",
+    "transition_matrix",
+    "row_normalize",
+    "degree_scale",
+    "prune_matrix",
+    "top_k_entries",
+]

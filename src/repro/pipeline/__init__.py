@@ -1,0 +1,34 @@
+"""The two-stage symmetrize-then-cluster framework (Figure 2).
+
+- :class:`SymmetrizeClusterPipeline` — symmetrization + clusterer +
+  prune threshold, with per-stage timing, the unit every experiment in
+  the paper runs.
+- :mod:`~repro.pipeline.sweep` — sweeps over cluster counts, prune
+  thresholds and (α, β) grids, producing the series behind the paper's
+  figures and tables.
+- :mod:`~repro.pipeline.report` — plain-text table/series rendering
+  for the benchmark harness.
+"""
+
+from repro.pipeline.pipeline import PipelineResult, SymmetrizeClusterPipeline
+from repro.pipeline.report import format_series, format_table
+from repro.pipeline.sweep import (
+    SweepPoint,
+    sweep_alpha_beta,
+    sweep_n_clusters,
+    sweep_threshold,
+)
+from repro.pipeline.tuning import TuningPoint, tune_threshold
+
+__all__ = [
+    "SymmetrizeClusterPipeline",
+    "PipelineResult",
+    "SweepPoint",
+    "sweep_n_clusters",
+    "sweep_threshold",
+    "sweep_alpha_beta",
+    "tune_threshold",
+    "TuningPoint",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,138 @@
+"""ASCII chart rendering for figure-style experiment output.
+
+The paper's figures are line charts (Avg-F or seconds vs number of
+clusters). The CLI regenerates them as data series; this module adds a
+terminal rendering so ``python -m repro experiment fig5a`` shows the
+curve shapes directly, not just the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["ascii_chart", "render_series_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named ``(xs, ys)`` series as an ASCII scatter/line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to ``(xs, ys)``; all points share one
+        coordinate system. Each series gets its own mark character.
+    width, height:
+        Plot-area size in characters.
+    x_label, y_label:
+        Axis annotations.
+
+    Returns
+    -------
+    A multi-line string: plot area with axes, then a legend.
+    """
+    if not series:
+        raise ReproError("ascii_chart needs at least one series")
+    if width < 8 or height < 4:
+        raise ReproError("chart area too small")
+    all_x = [float(x) for xs, _ in series.values() for x in xs]
+    all_y = [float(y) for _, ys in series.values() for y in ys]
+    if not all_x:
+        raise ReproError("ascii_chart needs at least one point")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, (xs, ys)), mark in zip(series.items(), _MARKS):
+        for x, y in zip(xs, ys):
+            col = int((float(x) - x_lo) / x_span * (width - 1))
+            row = int((float(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    top_label = f"{y_hi:.6g}"
+    bottom_label = f"{y_lo:.6g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for r, row_cells in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(margin)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif r == height // 2:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row_cells))
+    lines.append(" " * margin + "+" + "-" * width)
+    left = f"{x_lo:.6g}"
+    right = f"{x_hi:.6g}"
+    gap = width - len(left) - len(right) - len(x_label)
+    if gap >= 2:
+        x_axis = (
+            left
+            + " " * (gap // 2)
+            + x_label
+            + " " * (gap - gap // 2)
+            + right
+        )
+    else:
+        x_axis = f"{left} .. {right} ({x_label})"
+    lines.append(" " * (margin + 1) + x_axis)
+    legend = "  ".join(
+        f"{mark}={name}"
+        for (name, _), mark in zip(series.items(), _MARKS)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def render_series_chart(
+    series_text: str, width: int = 60, height: int = 16
+) -> str | None:
+    """Parse :func:`repro.pipeline.report.format_series` lines and
+    chart them.
+
+    Returns ``None`` when the text contains no parsable series (the
+    caller then falls back to the plain text).
+    """
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    x_label = y_label = ""
+    for line in series_text.splitlines():
+        if "[" not in line or "]" not in line or ":" not in line:
+            continue
+        head, _, body = line.partition("[")
+        name = head.strip()
+        labels, _, points = body.partition("]")
+        if "->" in labels:
+            x_label, _, y_label = labels.partition("->")
+            x_label, y_label = x_label.strip(), y_label.strip()
+        xs: list[float] = []
+        ys: list[float] = []
+        for pair in points.lstrip(":").split(","):
+            if ":" not in pair:
+                continue
+            x_str, _, y_str = pair.partition(":")
+            try:
+                xs.append(float(x_str))
+                ys.append(float(y_str))
+            except ValueError:
+                continue
+        if xs:
+            series[name] = (xs, ys)
+    if not series:
+        return None
+    return ascii_chart(
+        series, width=width, height=height,
+        x_label=x_label or "x", y_label=y_label or "y",
+    )

@@ -1,0 +1,156 @@
+"""The two-stage clustering pipeline of Figure 2.
+
+Stage 1 symmetrizes the directed graph, stage 2 clusters the result
+with an off-the-shelf undirected clusterer. The pipeline records both
+stage timings separately, because the paper's speed claims concern the
+*clustering* time on differently-symmetrized graphs (Figures 8–9,
+Table 3) — degree-discounted graphs cluster 2–5x faster because they
+have no hubs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cluster.common import Clustering, GraphClusterer, get_clusterer
+from repro.eval.fmeasure import average_f_score
+from repro.eval.groundtruth import GroundTruth
+from repro.exceptions import ClusteringError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.ugraph import UndirectedGraph
+from repro.symmetrize.base import Symmetrization, get_symmetrization
+
+__all__ = ["SymmetrizeClusterPipeline", "PipelineResult"]
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything one pipeline run produced.
+
+    Attributes
+    ----------
+    clustering:
+        The stage-2 output.
+    symmetrized:
+        The stage-1 undirected graph (kept for inspection — edge
+        counts, degree distributions, top edges).
+    symmetrize_seconds, cluster_seconds:
+        Wall-clock duration of each stage.
+    average_f:
+        §4.3 Avg-F in percent, when ground truth was supplied to
+        :meth:`SymmetrizeClusterPipeline.run`; ``None`` otherwise.
+    """
+
+    clustering: Clustering
+    symmetrized: UndirectedGraph
+    symmetrize_seconds: float
+    cluster_seconds: float
+    average_f: float | None
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of both stage durations."""
+        return self.symmetrize_seconds + self.cluster_seconds
+
+
+class SymmetrizeClusterPipeline:
+    """Symmetrize a directed graph, then cluster it (Figure 2).
+
+    Parameters
+    ----------
+    symmetrization:
+        A :class:`~repro.symmetrize.Symmetrization` instance or
+        registered name.
+    clusterer:
+        A :class:`~repro.cluster.GraphClusterer` instance or registered
+        name.
+    threshold:
+        Prune threshold applied to the symmetrized matrix (§3.5).
+
+    Examples
+    --------
+    >>> from repro.datasets import make_cora_like
+    >>> ds = make_cora_like(n_nodes=400, n_categories=8, seed=1)
+    >>> pipe = SymmetrizeClusterPipeline("degree_discounted", "metis")
+    >>> result = pipe.run(ds.graph, n_clusters=8,
+    ...                   ground_truth=ds.ground_truth)
+    >>> result.clustering.n_clusters
+    8
+    """
+
+    def __init__(
+        self,
+        symmetrization: str | Symmetrization,
+        clusterer: str | GraphClusterer,
+        threshold: float = 0.0,
+    ) -> None:
+        if isinstance(symmetrization, str):
+            symmetrization = get_symmetrization(symmetrization)
+        if isinstance(clusterer, str):
+            clusterer = get_clusterer(clusterer)
+        if not isinstance(symmetrization, Symmetrization):
+            raise ClusteringError(
+                "symmetrization must be a name or Symmetrization"
+            )
+        if not isinstance(clusterer, GraphClusterer):
+            raise ClusteringError(
+                "clusterer must be a name or GraphClusterer"
+            )
+        self.symmetrization = symmetrization
+        self.clusterer = clusterer
+        self.threshold = float(threshold)
+
+    def symmetrize(self, graph: DirectedGraph) -> UndirectedGraph:
+        """Run stage 1 only."""
+        return self.symmetrization.apply(graph, threshold=self.threshold)
+
+    def run(
+        self,
+        graph: DirectedGraph,
+        n_clusters: int | None = None,
+        ground_truth: GroundTruth | None = None,
+        symmetrized: UndirectedGraph | None = None,
+    ) -> PipelineResult:
+        """Run the full pipeline.
+
+        Parameters
+        ----------
+        graph:
+            The directed input.
+        n_clusters:
+            Requested cluster count (advisory for MLR-MCL).
+        ground_truth:
+            When given, the result carries the §4.3 Avg-F score.
+        symmetrized:
+            Pass a pre-computed stage-1 output to amortize
+            symmetrization across many stage-2 runs (the sweeps do
+            this); its symmetrize time is then reported as 0.
+        """
+        if symmetrized is None:
+            t0 = time.perf_counter()
+            symmetrized = self.symmetrize(graph)
+            t_sym = time.perf_counter() - t0
+        else:
+            t_sym = 0.0
+        t0 = time.perf_counter()
+        clustering = self.clusterer.cluster(symmetrized, n_clusters)
+        t_cluster = time.perf_counter() - t0
+        avg_f = (
+            average_f_score(clustering, ground_truth)
+            if ground_truth is not None
+            else None
+        )
+        return PipelineResult(
+            clustering=clustering,
+            symmetrized=symmetrized,
+            symmetrize_seconds=t_sym,
+            cluster_seconds=t_cluster,
+            average_f=avg_f,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SymmetrizeClusterPipeline({self.symmetrization!r}, "
+            f"{self.clusterer!r}, threshold={self.threshold})"
+        )

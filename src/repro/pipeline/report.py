@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints the same rows/series the paper's tables
+and figures report; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are shown with two decimals; everything else via ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as labeled ``x -> y`` pairs."""
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.2f}"
+        return str(v)
+
+    pairs = ", ".join(
+        f"{fmt(x)}:{fmt(y)}" for x, y in zip(xs, ys)
+    )
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"

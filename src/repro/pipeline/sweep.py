@@ -1,0 +1,194 @@
+"""Parameter sweeps behind the paper's figures and tables.
+
+- :func:`sweep_n_clusters` — Avg-F and time vs cluster count for one
+  (symmetrization, clusterer) pair: one curve of Figures 5, 7, 8, 9.
+- :func:`sweep_threshold` — the Table-3 prune-threshold study.
+- :func:`sweep_alpha_beta` — the Table-4 (α, β) grid.
+
+Each sweep symmetrizes once and reuses the undirected graph across
+cluster counts (matching the paper's methodology, which times the
+clustering stage).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cluster.common import GraphClusterer, get_clusterer
+from repro.eval.fmeasure import average_f_score
+from repro.eval.groundtruth import GroundTruth
+from repro.graph.digraph import DirectedGraph
+from repro.pipeline.pipeline import SymmetrizeClusterPipeline
+from repro.symmetrize.base import Symmetrization, get_symmetrization
+from repro.symmetrize.degree_discounted import (
+    DegreeDiscountedSymmetrization,
+)
+
+__all__ = [
+    "SweepPoint",
+    "sweep_n_clusters",
+    "sweep_threshold",
+    "sweep_alpha_beta",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point of a sweep.
+
+    Attributes
+    ----------
+    parameter:
+        The swept value (cluster count, threshold, or an (α, β) pair).
+    n_clusters:
+        Actual cluster count produced (MLR-MCL controls it only
+        indirectly).
+    average_f:
+        §4.3 Avg-F in percent (``None`` without ground truth).
+    cluster_seconds:
+        Stage-2 wall-clock time.
+    n_edges:
+        Edge count of the (pruned) symmetrized graph used.
+    """
+
+    parameter: object
+    n_clusters: int
+    average_f: float | None
+    cluster_seconds: float
+    n_edges: int
+
+
+def sweep_n_clusters(
+    graph: DirectedGraph,
+    symmetrization: str | Symmetrization,
+    clusterer: str | GraphClusterer,
+    cluster_counts: list[int],
+    ground_truth: GroundTruth | None = None,
+    threshold: float = 0.0,
+) -> list[SweepPoint]:
+    """Avg-F / time vs requested cluster count (Figures 5, 7, 8, 9)."""
+    pipe = SymmetrizeClusterPipeline(
+        symmetrization, clusterer, threshold=threshold
+    )
+    undirected = pipe.symmetrize(graph)
+    points = []
+    for k in cluster_counts:
+        result = pipe.run(
+            graph,
+            n_clusters=k,
+            ground_truth=ground_truth,
+            symmetrized=undirected,
+        )
+        points.append(
+            SweepPoint(
+                parameter=k,
+                n_clusters=result.clustering.n_clusters,
+                average_f=result.average_f,
+                cluster_seconds=result.cluster_seconds,
+                n_edges=undirected.n_edges,
+            )
+        )
+    return points
+
+
+def sweep_threshold(
+    graph: DirectedGraph,
+    thresholds: list[float],
+    clusterer: str | GraphClusterer,
+    n_clusters: int,
+    ground_truth: GroundTruth | None = None,
+    symmetrization: str | Symmetrization = "degree_discounted",
+) -> list[SweepPoint]:
+    """The Table-3 study: prune threshold vs edges / Avg-F / time.
+
+    Symmetrizes once without pruning, then prunes the same similarity
+    matrix at every threshold (exactly what varying the threshold means
+    in §5.3.1).
+    """
+    if isinstance(symmetrization, str):
+        symmetrization = get_symmetrization(symmetrization)
+    if isinstance(clusterer, str):
+        clusterer = get_clusterer(clusterer)
+    from repro.symmetrize.pruning import prune_graph
+
+    full = symmetrization.apply(graph, threshold=0.0)
+    points = []
+    for threshold in thresholds:
+        pruned = prune_graph(full, threshold)
+        t0 = time.perf_counter()
+        clustering = clusterer.cluster(pruned, n_clusters)
+        seconds = time.perf_counter() - t0
+        avg_f = (
+            average_f_score(clustering, ground_truth)
+            if ground_truth is not None
+            else None
+        )
+        points.append(
+            SweepPoint(
+                parameter=threshold,
+                n_clusters=clustering.n_clusters,
+                average_f=avg_f,
+                cluster_seconds=seconds,
+                n_edges=pruned.n_edges,
+            )
+        )
+    return points
+
+
+def sweep_alpha_beta(
+    graph: DirectedGraph,
+    configurations: list[tuple[float | str, float | str]],
+    clusterer: str | GraphClusterer,
+    n_clusters: int,
+    ground_truth: GroundTruth | None = None,
+    threshold: float = 0.0,
+    target_degree: float | None = None,
+) -> list[SweepPoint]:
+    """The Table-4 study: Avg-F per (α, β) configuration.
+
+    ``(0, 0)`` reproduces the paper's no-discounting row — note it is
+    *not* the same as Bibliometric, because zero-degree nodes still
+    contribute nothing — and ``("log", "log")`` the IDF-style row.
+
+    Because (α, β) changes the *scale* of the similarity values, a
+    shared absolute ``threshold`` would bias the grid; pass
+    ``target_degree`` instead to choose a per-configuration threshold
+    with the §5.3.1 sample recipe (density-matched comparisons).
+    """
+    if isinstance(clusterer, str):
+        clusterer = get_clusterer(clusterer)
+    from repro.symmetrize.pruning import (
+        choose_threshold_for_degree,
+        prune_graph,
+    )
+
+    points = []
+    for alpha, beta in configurations:
+        sym = DegreeDiscountedSymmetrization(alpha=alpha, beta=beta)
+        if target_degree is not None:
+            undirected = sym.apply(graph)
+            per_config = choose_threshold_for_degree(
+                undirected, target_degree
+            )
+            undirected = prune_graph(undirected, per_config)
+        else:
+            undirected = sym.apply(graph, threshold=threshold)
+        t0 = time.perf_counter()
+        clustering = clusterer.cluster(undirected, n_clusters)
+        seconds = time.perf_counter() - t0
+        avg_f = (
+            average_f_score(clustering, ground_truth)
+            if ground_truth is not None
+            else None
+        )
+        points.append(
+            SweepPoint(
+                parameter=(alpha, beta),
+                n_clusters=clustering.n_clusters,
+                average_f=avg_f,
+                cluster_seconds=seconds,
+                n_edges=undirected.n_edges,
+            )
+        )
+    return points

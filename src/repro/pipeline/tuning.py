@@ -1,0 +1,120 @@
+"""Threshold tuning for the symmetrize-then-cluster pipeline.
+
+§5.3.1 observes there is "no single correct pruning threshold": lower
+thresholds buy quality with time, higher thresholds the reverse, and
+the user picks by computational constraint. This module automates the
+two selection policies the paper describes:
+
+- :func:`repro.symmetrize.pruning.choose_threshold_for_degree`
+  (re-exported here) — the *unsupervised* recipe: sample similarities
+  and hit a target average degree.
+- :func:`tune_threshold` — the *supervised* recipe: when ground truth
+  (or a quality proxy) is available, sweep candidate densities and
+  keep the best-scoring operating point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.common import GraphClusterer, get_clusterer
+from repro.directed.objectives import clustering_ncut
+from repro.eval.fmeasure import average_f_score
+from repro.eval.groundtruth import GroundTruth
+from repro.exceptions import ReproError
+from repro.graph.digraph import DirectedGraph
+from repro.symmetrize.base import Symmetrization, get_symmetrization
+from repro.symmetrize.pruning import (
+    choose_threshold_for_degree,
+    prune_graph,
+)
+
+__all__ = ["tune_threshold", "TuningPoint", "choose_threshold_for_degree"]
+
+
+@dataclass(frozen=True)
+class TuningPoint:
+    """One evaluated operating point of :func:`tune_threshold`.
+
+    Attributes
+    ----------
+    target_degree:
+        The candidate average degree.
+    threshold:
+        The similarity threshold achieving it (§5.3.1 sample recipe).
+    n_edges:
+        Edges kept at that threshold.
+    score:
+        Avg-F (with ground truth) or negative k-way Ncut (without).
+    seconds:
+        Stage-2 clustering time at this density.
+    """
+
+    target_degree: float
+    threshold: float
+    n_edges: int
+    score: float
+    seconds: float
+
+
+def tune_threshold(
+    graph: DirectedGraph,
+    symmetrization: str | Symmetrization = "degree_discounted",
+    clusterer: str | GraphClusterer = "mlrmcl",
+    n_clusters: int | None = None,
+    ground_truth: GroundTruth | None = None,
+    candidate_degrees: list[float] | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, list[TuningPoint]]:
+    """Pick a prune threshold by sweeping candidate densities.
+
+    For each candidate average degree, the similarity matrix is pruned
+    with the §5.3.1 sample recipe and clustered once; the density with
+    the best score wins. With ``ground_truth`` the score is the §4.3
+    Avg-F; without it, the negative k-way normalized cut of the
+    clustering serves as an unsupervised proxy (lower Ncut = cleaner
+    structure, the §5.4 observation).
+
+    Returns
+    -------
+    (best_threshold, points):
+        The winning threshold and every evaluated operating point (so
+        callers can inspect the quality/time trade-off like Table 3).
+    """
+    if isinstance(symmetrization, str):
+        symmetrization = get_symmetrization(symmetrization)
+    if isinstance(clusterer, str):
+        clusterer = get_clusterer(clusterer)
+    if candidate_degrees is None:
+        candidate_degrees = [10.0, 20.0, 40.0]
+    if not candidate_degrees:
+        raise ReproError("candidate_degrees must be non-empty")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    full = symmetrization.apply(graph)
+    points: list[TuningPoint] = []
+    for target in candidate_degrees:
+        threshold = choose_threshold_for_degree(full, target, rng=rng)
+        pruned = prune_graph(full, threshold)
+        t0 = time.perf_counter()
+        clustering = clusterer.cluster(pruned, n_clusters)
+        seconds = time.perf_counter() - t0
+        if ground_truth is not None:
+            score = average_f_score(clustering, ground_truth)
+        else:
+            score = -clustering_ncut(pruned, clustering.labels)
+        points.append(
+            TuningPoint(
+                target_degree=float(target),
+                threshold=float(threshold),
+                n_edges=pruned.n_edges,
+                score=float(score),
+                seconds=seconds,
+            )
+        )
+    best = max(points, key=lambda p: p.score)
+    return best.threshold, points

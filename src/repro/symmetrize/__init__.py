@@ -1,0 +1,61 @@
+"""Graph symmetrizations (§3 of the paper) — the core contribution.
+
+A *symmetrization* transforms a directed graph ``G`` with adjacency
+``A`` into an undirected graph ``G_U`` with symmetric adjacency ``U``
+so that undirected clustering algorithms can be applied. Four methods
+from the paper are implemented:
+
+========================  =============================================
+:class:`NaiveSymmetrization`            ``U = A + Aᵀ`` (§3.1)
+:class:`RandomWalkSymmetrization`       ``U = (ΠP + PᵀΠ)/2`` (§3.2)
+:class:`BibliometricSymmetrization`     ``U = AAᵀ + AᵀA`` (§3.3)
+:class:`DegreeDiscountedSymmetrization` Eq. 8 with ``α = β = 0.5`` (§3.4)
+========================  =============================================
+
+Use :func:`symmetrize` as the high-level entry point::
+
+    from repro import symmetrize
+    undirected = symmetrize(graph, "degree_discounted", threshold=0.01)
+"""
+
+from repro.symmetrize.base import (
+    Symmetrization,
+    available_symmetrizations,
+    get_symmetrization,
+    register_symmetrization,
+    symmetrize,
+)
+from repro.symmetrize.bibliometric import BibliometricSymmetrization
+from repro.symmetrize.bipartite import (
+    BipartiteDegreeDiscounted,
+    bipartite_symmetrize,
+)
+from repro.symmetrize.degree_discounted import DegreeDiscountedSymmetrization
+from repro.symmetrize.naive import NaiveSymmetrization
+from repro.symmetrize.pruning import (
+    choose_threshold_for_degree,
+    prune_graph,
+)
+from repro.symmetrize.random_walk import RandomWalkSymmetrization
+from repro.symmetrize.variants import (
+    HybridSymmetrization,
+    JaccardSymmetrization,
+)
+
+__all__ = [
+    "Symmetrization",
+    "symmetrize",
+    "get_symmetrization",
+    "register_symmetrization",
+    "available_symmetrizations",
+    "NaiveSymmetrization",
+    "RandomWalkSymmetrization",
+    "BibliometricSymmetrization",
+    "DegreeDiscountedSymmetrization",
+    "prune_graph",
+    "choose_threshold_for_degree",
+    "BipartiteDegreeDiscounted",
+    "bipartite_symmetrize",
+    "JaccardSymmetrization",
+    "HybridSymmetrization",
+]

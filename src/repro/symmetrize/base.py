@@ -1,0 +1,181 @@
+"""Symmetrization base class, registry and façade function.
+
+Every symmetrization maps a :class:`~repro.graph.DirectedGraph` to an
+:class:`~repro.graph.UndirectedGraph`. Concrete methods subclass
+:class:`Symmetrization` and register themselves under a string name so
+experiment sweeps can be configured by name.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import scipy.sparse as sp
+
+from repro.exceptions import SymmetrizationError
+from repro.graph.digraph import DirectedGraph
+from repro.graph.ugraph import UndirectedGraph
+from repro.linalg.sparse_utils import prune_matrix
+
+__all__ = [
+    "Symmetrization",
+    "register_symmetrization",
+    "get_symmetrization",
+    "available_symmetrizations",
+    "symmetrize",
+]
+
+_REGISTRY: dict[str, type["Symmetrization"]] = {}
+
+
+def register_symmetrization(name: str):
+    """Class decorator registering a symmetrization under ``name``."""
+
+    def decorator(cls: type["Symmetrization"]) -> type["Symmetrization"]:
+        if not issubclass(cls, Symmetrization):
+            raise TypeError(f"{cls!r} is not a Symmetrization subclass")
+        key = name.lower()
+        if key in _REGISTRY and _REGISTRY[key] is not cls:
+            raise SymmetrizationError(
+                f"symmetrization name {name!r} already registered"
+            )
+        _REGISTRY[key] = cls
+        cls.name = key
+        return cls
+
+    return decorator
+
+
+def get_symmetrization(name: str, **params: object) -> "Symmetrization":
+    """Instantiate a registered symmetrization by name.
+
+    Common aliases are accepted: ``"a+at"``/``"naive"``,
+    ``"random_walk"``/``"rw"``, ``"bibliometric"``/``"bib"``,
+    ``"degree_discounted"``/``"dd"``.
+    """
+    aliases = {
+        "a+at": "naive",
+        "a_plus_at": "naive",
+        "rw": "random_walk",
+        "bib": "bibliometric",
+        "dd": "degree_discounted",
+    }
+    key = aliases.get(name.lower(), name.lower())
+    try:
+        cls = _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise SymmetrizationError(
+            f"unknown symmetrization {name!r}; known: {known}"
+        ) from None
+    return cls(**params)  # type: ignore[call-arg]
+
+
+def available_symmetrizations() -> list[str]:
+    """Names of all registered symmetrizations, sorted."""
+    return sorted(_REGISTRY)
+
+
+class Symmetrization(abc.ABC):
+    """Base class: a directed-to-undirected graph transformation.
+
+    Subclasses implement :meth:`compute_matrix`, returning the raw
+    symmetric similarity matrix ``U``. The public :meth:`apply` wraps it
+    with validation, optional pruning (§3.5) and optional self-loop
+    removal, and packages the result as an
+    :class:`~repro.graph.UndirectedGraph`.
+    """
+
+    #: Registry name, set by :func:`register_symmetrization`.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compute_matrix(self, graph: DirectedGraph) -> sp.csr_array:
+        """The raw symmetric similarity matrix for ``graph``."""
+
+    def apply(
+        self,
+        graph: DirectedGraph,
+        threshold: float = 0.0,
+        drop_self_loops: bool = True,
+    ) -> UndirectedGraph:
+        """Symmetrize ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The directed input graph.
+        threshold:
+            Prune-threshold (§3.5): entries of ``U`` strictly below it
+            are dropped. 0 keeps everything.
+        drop_self_loops:
+            Self-similarities (the diagonal of ``U``) carry no
+            clustering information and are dropped by default.
+        """
+        if not isinstance(graph, DirectedGraph):
+            raise SymmetrizationError(
+                f"expected a DirectedGraph, got {type(graph).__name__}"
+            )
+        matrix = self.compute_matrix(graph).tocsr()
+        if threshold > 0:
+            matrix = prune_matrix(matrix, threshold)
+        if drop_self_loops:
+            lil = matrix.tolil()
+            lil.setdiag(0.0)
+            matrix = lil.tocsr()
+            matrix.eliminate_zeros()
+        # Clean tiny asymmetries from floating-point products.
+        matrix = ((matrix + matrix.T) * 0.5).tocsr()
+        return UndirectedGraph(
+            matrix, node_names=graph.node_names, validate=False
+        )
+
+    def __call__(
+        self, graph: DirectedGraph, threshold: float = 0.0
+    ) -> UndirectedGraph:
+        """Shorthand for :meth:`apply`."""
+        return self.apply(graph, threshold=threshold)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def symmetrize(
+    graph: DirectedGraph,
+    method: str | Symmetrization = "degree_discounted",
+    threshold: float = 0.0,
+    **params: object,
+) -> UndirectedGraph:
+    """Symmetrize a directed graph (the library's main façade).
+
+    Parameters
+    ----------
+    graph:
+        The directed input graph.
+    method:
+        Either a :class:`Symmetrization` instance or a registered name
+        (``"naive"``/``"a+at"``, ``"random_walk"``, ``"bibliometric"``,
+        ``"degree_discounted"``).
+    threshold:
+        Prune threshold applied to the similarity matrix (§3.5).
+    **params:
+        Extra constructor arguments when ``method`` is a name (e.g.
+        ``alpha=0.5, beta=0.5`` for degree-discounted).
+
+    Examples
+    --------
+    >>> from repro.graph.generators import figure1_graph
+    >>> g, roles = figure1_graph()
+    >>> u = symmetrize(g, "bibliometric")
+    >>> u.has_edge(roles["pair"][0], roles["pair"][1])
+    True
+    """
+    if isinstance(method, Symmetrization):
+        if params:
+            raise SymmetrizationError(
+                "cannot pass parameters together with an instance"
+            )
+        sym = method
+    else:
+        sym = get_symmetrization(method, **params)
+    return sym.apply(graph, threshold=threshold)

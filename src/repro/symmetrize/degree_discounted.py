@@ -1,0 +1,227 @@
+"""Degree-discounted symmetrization (§3.4, Eq. 6–8) — the paper's
+main contribution.
+
+The bibliometric similarity of two nodes is discounted by their own
+degrees and by the degrees of the shared neighbours:
+
+- When ``i`` and ``j`` both point to ``k``, the event is less
+  informative the more *other* nodes also point to ``k`` — so the
+  contribution is divided by ``D_i(k)^beta`` (Figure 3a).
+- Sharing an out-link counts for less when ``i`` or ``j`` has many
+  out-links anyway — so the similarity is divided by
+  ``D_o(i)^alpha * D_o(j)^alpha`` (Figure 3b).
+
+The degree-discounted bibliographic coupling (Eq. 6) and co-citation
+(Eq. 7) matrices are::
+
+    B_d = Do^-alpha  A  Di^-beta  Aᵀ Do^-alpha
+    C_d = Di^-beta   Aᵀ Do^-alpha A  Di^-beta
+
+and the final similarity is ``U_d = B_d + C_d`` (Eq. 8). The paper
+finds ``alpha = beta = 0.5`` best (§5.5, Table 4) — equivalent to
+L2-normalizing raw dot-products, i.e. cosine-style similarity — with
+full-degree discounting (exponent 1) an excessive penalty and 0.25 or
+log-degree insufficient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import SymmetrizationError
+from repro.graph.digraph import DirectedGraph
+from repro.linalg.sparse_utils import degree_power
+from repro.symmetrize.base import Symmetrization, register_symmetrization
+
+__all__ = ["DegreeDiscountedSymmetrization"]
+
+
+@register_symmetrization("degree_discounted")
+class DegreeDiscountedSymmetrization(Symmetrization):
+    """``U_d = Do^-a A Di^-b Aᵀ Do^-a + Di^-b Aᵀ Do^-a A Di^-b`` (Eq. 8).
+
+    Parameters
+    ----------
+    alpha:
+        Out-degree discount exponent. Also accepts the string
+        ``"log"`` for the IDF-style ``1 / log(1 + d)`` discount the
+        paper evaluates in Table 4.
+    beta:
+        In-degree discount exponent (same convention).
+    include_coupling, include_cocitation:
+        Ablation switches for ``B_d`` and ``C_d`` individually.
+    weighted_degrees:
+        Use weighted degrees (sums of edge weights) rather than edge
+        counts. For the 0/1 graphs of the paper both are identical;
+        weighted is the natural generalization and the default.
+
+    Examples
+    --------
+    >>> from repro.graph import DirectedGraph
+    >>> g = DirectedGraph.from_edges([(0, 2), (1, 2)], n_nodes=3)
+    >>> u = DegreeDiscountedSymmetrization().apply(g)
+    >>> round(u.edge_weight(0, 1), 3)  # 1/sqrt(1*1)/2 = 0.5
+    0.5
+    """
+
+    def __init__(
+        self,
+        alpha: float | str = 0.5,
+        beta: float | str = 0.5,
+        include_coupling: bool = True,
+        include_cocitation: bool = True,
+        weighted_degrees: bool = True,
+    ) -> None:
+        for name, value in (("alpha", alpha), ("beta", beta)):
+            if isinstance(value, str):
+                if value != "log":
+                    raise SymmetrizationError(
+                        f"{name} must be a number or 'log', got {value!r}"
+                    )
+            elif value < 0:
+                raise SymmetrizationError(f"{name} must be >= 0")
+        if not (include_coupling or include_cocitation):
+            raise SymmetrizationError(
+                "at least one of coupling/co-citation must be included"
+            )
+        self.alpha = alpha
+        self.beta = beta
+        self.include_coupling = bool(include_coupling)
+        self.include_cocitation = bool(include_cocitation)
+        self.weighted_degrees = bool(weighted_degrees)
+
+    @staticmethod
+    def _discount(degrees: np.ndarray, exponent: float | str) -> np.ndarray:
+        """``d^-exponent`` (or ``1/log(1+d)`` for "log"), with 0 -> 0."""
+        if exponent == "log":
+            deg = np.asarray(degrees, dtype=np.float64)
+            out = np.zeros_like(deg)
+            nz = deg > 0
+            out[nz] = 1.0 / np.log1p(deg[nz])
+            return out
+        return degree_power(degrees, float(exponent))
+
+    def compute_matrix(self, graph: DirectedGraph) -> sp.csr_array:
+        adj = graph.adjacency.tocsr()
+        d_out = graph.out_degrees(weighted=self.weighted_degrees)
+        d_in = graph.in_degrees(weighted=self.weighted_degrees)
+        out_disc = sp.diags_array(self._discount(d_out, self.alpha)).tocsr()
+        in_disc = sp.diags_array(self._discount(d_in, self.beta)).tocsr()
+
+        # Shared factors: X = Do^-a A Di^-b appears in both terms
+        # (B_d = X (Do^-a A)ᵀ... expanded explicitly for clarity).
+        a_scaled = (out_disc @ adj @ in_disc).tocsr()  # Do^-a A Di^-b
+        parts = []
+        if self.include_coupling:
+            # B_d = Do^-a A Di^-b Aᵀ Do^-a = a_scaled @ (Do^-a A)ᵀ
+            left = (out_disc @ adj).tocsr()
+            parts.append((a_scaled @ left.T).tocsr())
+        if self.include_cocitation:
+            # C_d = Di^-b Aᵀ Do^-a A Di^-b = (A Di^-b)ᵀ @ a_scaled...
+            right = (adj @ in_disc).tocsr()
+            parts.append((right.T @ (out_disc @ right)).tocsr())
+        total = parts[0]
+        for part in parts[1:]:
+            total = total + part
+        return total.tocsr()
+
+    def apply_pruned(self, graph: DirectedGraph, threshold: float):
+        """Compute the symmetrized graph *directly at* a prune
+        threshold, never materializing the full similarity matrix.
+
+        Uses the §3.6 idea (Bayardo et al.'s threshold-aware all-pairs
+        similarity) via the factorizations ``B_d = Y Yᵀ`` with
+        ``Y = Do^-α A Di^-β/2`` and ``C_d = Z Zᵀ`` with
+        ``Z = Di^-β Aᵀ Do^-α/2``. Each term is searched at
+        ``threshold / 2`` (a pair can reach ``threshold`` with both
+        halves just below it), summed, and filtered exactly.
+
+        Requires numeric ``alpha``/``beta`` (the ``"log"`` discount
+        has no symmetric square-root factorization) and a positive
+        threshold. Output matches ``apply(graph, threshold=threshold)``
+        up to floating-point summation order: shared entries agree to
+        ~1 ULP, and pairs whose similarity ties the threshold exactly
+        may fall on either side.
+        """
+        from repro.graph.ugraph import UndirectedGraph
+        from repro.linalg.allpairs import thresholded_gram_matrix
+        from repro.linalg.sparse_utils import prune_matrix
+
+        if isinstance(self.alpha, str) or isinstance(self.beta, str):
+            raise SymmetrizationError(
+                "apply_pruned requires numeric alpha/beta"
+            )
+        if threshold <= 0:
+            raise SymmetrizationError(
+                "apply_pruned requires a positive threshold; "
+                "use apply() for threshold 0"
+            )
+        adj = graph.adjacency.tocsr()
+        d_out = graph.out_degrees(weighted=self.weighted_degrees)
+        d_in = graph.in_degrees(weighted=self.weighted_degrees)
+        out_a = sp.diags_array(
+            self._discount(d_out, float(self.alpha))
+        ).tocsr()
+        out_half = sp.diags_array(
+            self._discount(d_out, float(self.alpha) / 2.0)
+        ).tocsr()
+        in_b = sp.diags_array(
+            self._discount(d_in, float(self.beta))
+        ).tocsr()
+        in_half = sp.diags_array(
+            self._discount(d_in, float(self.beta) / 2.0)
+        ).tocsr()
+        factors = []
+        if self.include_coupling:
+            factors.append((out_a @ adj @ in_half).tocsr())
+        if self.include_cocitation:
+            factors.append(
+                (in_b @ adj.T.tocsr() @ out_half).tocsr()
+            )
+        # A pair reaching `threshold` in total has at least one term
+        # >= threshold / n_terms, so searching each factor at that
+        # per-term level yields a complete candidate set; exact totals
+        # are then verified per candidate pair.
+        per_term = threshold / len(factors)
+        candidates = None
+        for Y in factors:
+            found = thresholded_gram_matrix(Y, per_term)
+            found.data[:] = 1.0
+            candidates = (
+                found if candidates is None else candidates + found
+            )
+        candidates = candidates.tocoo()
+        rows_out, cols_out, vals_out = [], [], []
+        for i, j in zip(candidates.row, candidates.col):
+            if i >= j:
+                continue  # verify each unordered pair once
+            value = 0.0
+            for Y in factors:
+                ri = Y[[int(i)], :]
+                rj = Y[[int(j)], :]
+                value += float((ri @ rj.T).toarray().ravel()[0])
+            if value >= threshold:
+                rows_out.append(int(i))
+                cols_out.append(int(j))
+                vals_out.append(value)
+        total = sp.coo_array(
+            (vals_out, (rows_out, cols_out)),
+            shape=(graph.n_nodes, graph.n_nodes),
+        ).tocsr()
+        total = (total + total.T).tocsr()
+        total = prune_matrix(total, threshold)
+        lil = total.tolil()
+        lil.setdiag(0.0)
+        total = lil.tocsr()
+        total.eliminate_zeros()
+        total = ((total + total.T) * 0.5).tocsr()
+        return UndirectedGraph(
+            total, node_names=graph.node_names, validate=False
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DegreeDiscountedSymmetrization(alpha={self.alpha!r}, "
+            f"beta={self.beta!r})"
+        )

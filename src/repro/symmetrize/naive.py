@@ -1,0 +1,39 @@
+"""The ``A + Aᵀ`` symmetrization (§3.1).
+
+The simplest transformation: drop edge directions, summing weights when
+both directions exist. This is the *implicit* symmetrization used by
+most prior work on clustering directed graphs, which is why the paper
+insists on comparing against it explicitly. Its weakness is structural:
+it keeps exactly the edge set of the input, so two nodes that share all
+their in- and out-neighbours but never link to each other (Figure 1)
+remain disconnected and can never be clustered together.
+"""
+
+from __future__ import annotations
+
+import scipy.sparse as sp
+
+from repro.graph.digraph import DirectedGraph
+from repro.symmetrize.base import Symmetrization, register_symmetrization
+
+__all__ = ["NaiveSymmetrization"]
+
+
+@register_symmetrization("naive")
+class NaiveSymmetrization(Symmetrization):
+    """``U = A + Aᵀ``.
+
+    Examples
+    --------
+    >>> from repro.graph import DirectedGraph
+    >>> g = DirectedGraph.from_edges([(0, 1), (1, 0), (1, 2)], n_nodes=3)
+    >>> u = NaiveSymmetrization().apply(g)
+    >>> u.edge_weight(0, 1)  # both directions existed: weights sum
+    2.0
+    >>> u.edge_weight(1, 2)
+    1.0
+    """
+
+    def compute_matrix(self, graph: DirectedGraph) -> sp.csr_array:
+        adj = graph.adjacency
+        return (adj + adj.T).tocsr()

@@ -1,0 +1,192 @@
+"""Unit tests for :mod:`repro.cluster.coarsen`."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.cluster.coarsen import (
+    CoarseningHierarchy,
+    build_hierarchy,
+    contract,
+    heavy_edge_matching,
+)
+from repro.exceptions import ClusteringError
+
+
+def _path_graph(n, weights=None):
+    """Path 0-1-2-...-(n-1) with optional per-edge weights."""
+    if weights is None:
+        weights = [1.0] * (n - 1)
+    rows, cols, vals = [], [], []
+    for i, w in enumerate(weights):
+        rows += [i, i + 1]
+        cols += [i + 1, i]
+        vals += [w, w]
+    return sp.coo_array((vals, (rows, cols)), shape=(n, n)).tocsr()
+
+
+class TestHeavyEdgeMatching:
+    def test_matched_pairs_are_adjacent(self):
+        adj = sp.csr_array(
+            np.array(
+                [[0.0, 10.0, 1.0], [10.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+            )
+        )
+        for seed in range(5):
+            match = heavy_edge_matching(adj, np.random.default_rng(seed))
+            for v in range(3):
+                if match[v] != v:
+                    assert adj[[v], [match[v]]] > 0
+
+    def test_prefers_heavy_edge_when_visited_first(self):
+        # Star around 0 with one heavy spoke: when the visit order
+        # starts at node 0, greedy HEM must take the weight-10 edge.
+        adj = sp.csr_array(
+            np.array(
+                [
+                    [0.0, 10.0, 1.0, 1.0],
+                    [10.0, 0.0, 0.0, 0.0],
+                    [1.0, 0.0, 0.0, 0.0],
+                    [1.0, 0.0, 0.0, 0.0],
+                ]
+            )
+        )
+        # Find seeds whose visit permutation starts at node 0.
+        tested = 0
+        for seed in range(50):
+            if np.random.default_rng(seed).permutation(4)[0] != 0:
+                continue
+            match = heavy_edge_matching(
+                adj, np.random.default_rng(seed)
+            )
+            assert match[0] == 1
+            tested += 1
+        assert tested > 0
+
+    def test_disjoint_edges_always_matched(self):
+        adj = sp.csr_array(
+            np.array(
+                [
+                    [0.0, 10.0, 0.0, 0.0],
+                    [10.0, 0.0, 0.0, 0.0],
+                    [0.0, 0.0, 0.0, 1.0],
+                    [0.0, 0.0, 1.0, 0.0],
+                ]
+            )
+        )
+        for seed in range(5):
+            match = heavy_edge_matching(adj, np.random.default_rng(seed))
+            assert match.tolist() == [1, 0, 3, 2]
+
+    def test_isolated_nodes_unmatched(self):
+        adj = sp.csr_array((3, 3))
+        match = heavy_edge_matching(adj, np.random.default_rng(0))
+        assert match.tolist() == [0, 1, 2]
+
+    def test_respects_max_node_weight(self):
+        adj = _path_graph(2)
+        weights = np.array([10.0, 10.0])
+        match = heavy_edge_matching(
+            adj,
+            np.random.default_rng(0),
+            node_weights=weights,
+            max_node_weight=15.0,
+        )
+        assert match.tolist() == [0, 1]  # match would exceed the cap
+
+    def test_matching_involution(self, rng):
+        adj = _path_graph(10)
+        match = heavy_edge_matching(adj, rng)
+        assert np.array_equal(match[match], np.arange(10))
+
+
+class TestContract:
+    def test_pair_contraction(self):
+        adj = _path_graph(4)  # 0-1-2-3
+        match = np.array([1, 0, 3, 2])  # contract (0,1) and (2,3)
+        coarse, weights, mapping = contract(adj, match)
+        assert coarse.shape == (2, 2)
+        assert weights.tolist() == [2.0, 2.0]
+        # One inter-super-node edge (1-2) of weight 1.
+        assert coarse[[0], [1]] == 1.0
+        # Internal edge weight lands on the diagonal (both halves).
+        assert coarse.diagonal().tolist() == [2.0, 2.0]
+
+    def test_mapping_indexes_coarse_nodes(self):
+        adj = _path_graph(4)
+        match = np.array([1, 0, 2, 3])  # only contract (0,1)
+        coarse, _, mapping = contract(adj, match)
+        assert coarse.shape == (3, 3)
+        assert mapping[0] == mapping[1]
+        assert len(set(mapping.tolist())) == 3
+
+    def test_total_weight_preserved(self, rng):
+        adj = _path_graph(8, weights=[1, 5, 2, 8, 1, 1, 3])
+        match = heavy_edge_matching(adj, rng)
+        coarse, _, _ = contract(adj, match)
+        assert coarse.sum() == pytest.approx(adj.sum())
+
+    def test_rejects_bad_match_length(self):
+        with pytest.raises(ClusteringError):
+            contract(_path_graph(4), np.array([0, 1]))
+
+
+class TestBuildHierarchy:
+    def test_coarsens_to_target(self, rng):
+        adj = _path_graph(64)
+        hierarchy = build_hierarchy(adj, rng, min_nodes=8)
+        assert hierarchy.graphs[-1].shape[0] <= 8 * 2  # halving steps
+
+    def test_single_level_when_small(self, rng):
+        adj = _path_graph(4)
+        hierarchy = build_hierarchy(adj, rng, min_nodes=10)
+        assert hierarchy.n_levels == 1
+        assert not hierarchy.mappings
+
+    def test_rejects_bad_min_nodes(self, rng):
+        with pytest.raises(ClusteringError):
+            build_hierarchy(_path_graph(4), rng, min_nodes=0)
+
+    def test_project_labels_roundtrip(self, rng):
+        adj = _path_graph(32)
+        hierarchy = build_hierarchy(adj, rng, min_nodes=4)
+        coarse_n = hierarchy.graphs[-1].shape[0]
+        labels = np.arange(coarse_n)
+        fine = hierarchy.project_labels(labels)
+        assert fine.shape == (32,)
+        # Every fine node carries its coarsest ancestor's label.
+        current = fine
+        for mapping in hierarchy.mappings:
+            # Consistency: nodes mapped together share labels.
+            grouped = {}
+            for v, m in enumerate(mapping):
+                grouped.setdefault(m, set()).add(current[v])
+            assert all(len(s) == 1 for s in grouped.values())
+            current = np.array(
+                [current[np.flatnonzero(mapping == m)[0]]
+                 for m in range(mapping.max() + 1)]
+            )
+
+    def test_star_graph_stops_early(self, rng):
+        # A star cannot be matched below ~n/2: only one edge can match.
+        n = 40
+        rows = [0] * (n - 1) + list(range(1, n))
+        cols = list(range(1, n)) + [0] * (n - 1)
+        adj = sp.coo_array(
+            (np.ones(2 * (n - 1)), (rows, cols)), shape=(n, n)
+        ).tocsr()
+        hierarchy = build_hierarchy(adj, rng, min_nodes=2, max_levels=50)
+        # Terminates (no infinite loop) with a small number of levels.
+        assert hierarchy.n_levels < 10
+
+    def test_balance_cap_limits_supernode_weight(self, rng):
+        adj = _path_graph(100)
+        hierarchy = build_hierarchy(
+            adj, rng, min_nodes=10, balance_node_weights=True
+        )
+        cap = 3.0 * 100 / 10
+        assert hierarchy.node_weights[-1].max() <= cap
+
+    def test_empty_hierarchy_dataclass(self):
+        h = CoarseningHierarchy()
+        assert h.n_levels == 0

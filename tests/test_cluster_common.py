@@ -1,0 +1,135 @@
+"""Unit tests for :mod:`repro.cluster.common`."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    GraclusClusterer,
+    MetisClusterer,
+    MLRMCL,
+    SpectralClusterer,
+    available_clusterers,
+    get_clusterer,
+)
+from repro.cluster.common import Clustering, GraphClusterer
+from repro.exceptions import ClusteringError
+from repro.graph import UndirectedGraph
+
+
+class TestClustering:
+    def test_labels_compacted(self):
+        c = Clustering([5, 5, 9, 2])
+        assert c.labels.tolist() == [0, 0, 1, 2]
+        assert c.n_clusters == 3
+
+    def test_first_appearance_order(self):
+        c = Clustering([7, 3, 7, 1])
+        assert c.labels.tolist() == [0, 1, 0, 2]
+
+    def test_sizes(self):
+        c = Clustering([0, 0, 1])
+        assert c.sizes.tolist() == [2, 1]
+
+    def test_members(self):
+        c = Clustering([0, 1, 0])
+        assert c.members(0).tolist() == [0, 2]
+
+    def test_members_out_of_range(self):
+        with pytest.raises(ClusteringError):
+            Clustering([0]).members(5)
+
+    def test_clusters_partition(self):
+        c = Clustering([1, 0, 1, 2])
+        parts = c.clusters()
+        assert [sorted(p.tolist()) for p in parts] == [[0, 2], [1], [3]]
+
+    def test_singletons(self):
+        c = Clustering([0, 0, 1, 2])
+        assert c.singleton_count() == 2
+        assert c.singleton_fraction() == 0.5
+
+    def test_indicator_matrix(self):
+        c = Clustering([0, 1, 0])
+        H = c.indicator_matrix()
+        assert H.shape == (3, 2)
+        assert np.asarray(H.sum(axis=0)).tolist() == [2, 1]
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ClusteringError):
+            Clustering([-1, 0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ClusteringError):
+            Clustering(np.zeros((2, 2), dtype=int))
+
+    def test_labels_read_only(self):
+        c = Clustering([0, 1])
+        with pytest.raises(ValueError):
+            c.labels[0] = 5
+
+    def test_equality(self):
+        assert Clustering([0, 1]) == Clustering([5, 9])
+        assert Clustering([0, 1]) != Clustering([0, 0])
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(Clustering([0]))
+
+    def test_repr(self):
+        assert "n_clusters=2" in repr(Clustering([0, 1, 0]))
+
+    def test_empty(self):
+        c = Clustering([])
+        assert c.n_nodes == 0
+        assert c.n_clusters == 0
+        assert c.singleton_fraction() == 0.0
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        names = available_clusterers()
+        for expected in ("mlrmcl", "metis", "graclus", "spectral"):
+            assert expected in names
+
+    def test_get_by_name(self):
+        assert isinstance(get_clusterer("metis"), MetisClusterer)
+        assert isinstance(get_clusterer("graclus"), GraclusClusterer)
+        assert isinstance(get_clusterer("mlrmcl"), MLRMCL)
+        assert isinstance(get_clusterer("spectral"), SpectralClusterer)
+
+    def test_unknown_name(self):
+        with pytest.raises(ClusteringError, match="unknown"):
+            get_clusterer("label-propagation")
+
+    def test_params_forwarded(self):
+        c = get_clusterer("mlrmcl", inflation=3.0)
+        assert c.inflation == 3.0
+
+
+class TestInputValidation:
+    @pytest.mark.parametrize("name", ["metis", "graclus", "spectral"])
+    def test_rejects_k_above_n(self, name, small_weighted_ugraph):
+        with pytest.raises(ClusteringError, match="exceeds"):
+            get_clusterer(name).cluster(small_weighted_ugraph, 100)
+
+    @pytest.mark.parametrize("name", ["metis", "graclus", "spectral"])
+    def test_rejects_k_zero(self, name, small_weighted_ugraph):
+        with pytest.raises(ClusteringError):
+            get_clusterer(name).cluster(small_weighted_ugraph, 0)
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ClusteringError, match="empty"):
+            get_clusterer("metis").cluster(UndirectedGraph.empty(0), 1)
+
+    def test_rejects_directed_input(self, triangle_digraph):
+        with pytest.raises(ClusteringError, match="UndirectedGraph"):
+            get_clusterer("metis").cluster(triangle_digraph, 2)
+
+    @pytest.mark.parametrize("name", ["metis", "graclus", "spectral"])
+    def test_requires_n_clusters(self, name, small_weighted_ugraph):
+        with pytest.raises(ClusteringError, match="n_clusters"):
+            get_clusterer(name).cluster(small_weighted_ugraph, None)
+
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            GraphClusterer()  # type: ignore[abstract]

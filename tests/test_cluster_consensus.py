@@ -1,0 +1,98 @@
+"""Unit tests for :mod:`repro.cluster.consensus`."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ConsensusClusterer, get_clusterer
+from repro.cluster.common import Clustering
+from repro.cluster.consensus import co_association_matrix
+from repro.exceptions import ClusteringError
+
+
+class TestCoAssociation:
+    def test_identical_runs_give_binary_matrix(self):
+        runs = [Clustering([0, 0, 1]), Clustering([0, 0, 1])]
+        m = co_association_matrix(runs)
+        assert m[[0], [1]] == 1.0
+        assert m[[0], [2]] == 0.0
+        assert m[[0], [0]] == 1.0
+
+    def test_fractional_agreement(self):
+        runs = [Clustering([0, 0, 1]), Clustering([0, 1, 1])]
+        m = co_association_matrix(runs)
+        assert m[[0], [1]] == 0.5
+        assert m[[1], [2]] == 0.5
+        assert m[[0], [2]] == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ClusteringError):
+            co_association_matrix([])
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ClusteringError):
+            co_association_matrix(
+                [Clustering([0, 1]), Clustering([0, 1, 2])]
+            )
+
+
+class TestConsensusClusterer:
+    def test_registered(self):
+        assert isinstance(
+            get_clusterer("consensus"), ConsensusClusterer
+        )
+
+    def test_recovers_planted_structure(self, two_blob_ugraph):
+        c = ConsensusClusterer(base="metis", n_runs=3).cluster(
+            two_blob_ugraph, 2
+        )
+        assert c.n_clusters == 2
+        assert len(set(c.labels[:20].tolist())) == 1
+        assert c.labels[0] != c.labels[-1]
+
+    def test_reduces_variance_on_cora(self, cora_small):
+        """Consensus quality is at least in the band of its base."""
+        import repro
+
+        u = repro.symmetrize(
+            cora_small.graph, "degree_discounted", threshold=0.05
+        )
+        base_scores = []
+        from repro.cluster import MetisClusterer
+
+        for seed in range(3):
+            clustering = MetisClusterer(seed=seed).cluster(u, 12)
+            base_scores.append(
+                repro.average_f_score(
+                    clustering, cora_small.ground_truth
+                )
+            )
+        consensus = ConsensusClusterer(
+            base="metis", n_runs=3
+        ).cluster(u, 12)
+        consensus_score = repro.average_f_score(
+            consensus, cora_small.ground_truth
+        )
+        assert consensus_score >= min(base_scores) - 5.0
+
+    def test_falls_back_when_nothing_agrees(self):
+        """Total disagreement (threshold 1.0 on noisy base) falls back
+        to a base run instead of failing."""
+        from repro.graph import UndirectedGraph
+
+        # A graph with no structure at all.
+        g = UndirectedGraph.from_edges(
+            [(0, 1, 0.1), (2, 3, 0.1)], n_nodes=4
+        )
+        c = ConsensusClusterer(
+            base="metis", n_runs=2, agreement_threshold=1.0
+        ).cluster(g, 2)
+        assert c.n_nodes == 4
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ClusteringError):
+            ConsensusClusterer(n_runs=0)
+        with pytest.raises(ClusteringError):
+            ConsensusClusterer(agreement_threshold=2.0)
+
+    def test_repr(self):
+        assert "n_runs=5" in repr(ConsensusClusterer())

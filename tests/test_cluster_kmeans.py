@@ -1,0 +1,94 @@
+"""Unit tests for :mod:`repro.cluster.kmeans`."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import kmeans, kmeans_plus_plus_init
+from repro.exceptions import ClusteringError
+
+
+def _two_blobs(rng, n_per=30, separation=10.0):
+    a = rng.normal(0.0, 0.5, size=(n_per, 2))
+    b = rng.normal(separation, 0.5, size=(n_per, 2))
+    return np.vstack([a, b])
+
+
+class TestKmeansPlusPlus:
+    def test_returns_k_centroids(self, rng):
+        pts = _two_blobs(rng)
+        c = kmeans_plus_plus_init(pts, 2, rng)
+        assert c.shape == (2, 2)
+
+    def test_spreads_across_blobs(self, rng):
+        pts = _two_blobs(rng, separation=100.0)
+        c = kmeans_plus_plus_init(pts, 2, rng)
+        # One centroid in each blob (x-coordinates far apart).
+        assert abs(c[0, 0] - c[1, 0]) > 50.0
+
+    def test_rejects_k_above_n(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans_plus_plus_init(np.zeros((3, 2)), 5, rng)
+
+    def test_duplicate_points_handled(self, rng):
+        pts = np.ones((10, 2))
+        c = kmeans_plus_plus_init(pts, 3, rng)
+        assert c.shape == (3, 2)
+
+
+class TestKmeans:
+    def test_separates_two_blobs(self, rng):
+        pts = _two_blobs(rng)
+        labels = kmeans(pts, 2, rng=rng)
+        assert len(set(labels[:30].tolist())) == 1
+        assert len(set(labels[30:].tolist())) == 1
+        assert labels[0] != labels[-1]
+
+    def test_returns_exactly_k_clusters(self, rng):
+        pts = _two_blobs(rng)
+        labels = kmeans(pts, 5, rng=rng)
+        assert len(set(labels.tolist())) == 5
+
+    def test_k_equals_n(self, rng):
+        pts = rng.normal(size=(4, 2))
+        labels = kmeans(pts, 4, rng=rng)
+        assert len(set(labels.tolist())) == 4
+
+    def test_k_one(self, rng):
+        labels = kmeans(rng.normal(size=(10, 3)), 1, rng=rng)
+        assert set(labels.tolist()) == {0}
+
+    def test_weights_shift_assignment(self, rng):
+        # Heavy points at +/-1; with all weight on one side, the two
+        # centroids should split that side rather than the other.
+        pts = np.array([[0.0], [0.1], [10.0], [10.1]])
+        weights = np.array([100.0, 100.0, 0.001, 0.001])
+        labels = kmeans(pts, 2, rng=rng, weights=weights, n_init=10)
+        assert labels[0] != labels[1] or labels[2] != labels[3]
+
+    def test_deterministic_given_rng(self):
+        pts = _two_blobs(np.random.default_rng(3))
+        l1 = kmeans(pts, 2, rng=np.random.default_rng(5))
+        l2 = kmeans(pts, 2, rng=np.random.default_rng(5))
+        assert np.array_equal(l1, l2)
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((3, 2)), 0, rng=rng)
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros((3, 2)), 4, rng=rng)
+
+    def test_rejects_1d_points(self, rng):
+        with pytest.raises(ClusteringError):
+            kmeans(np.zeros(5), 2, rng=rng)
+
+    def test_rejects_bad_weights(self, rng):
+        pts = np.zeros((4, 2))
+        with pytest.raises(ClusteringError):
+            kmeans(pts, 2, rng=rng, weights=np.ones(3))
+        with pytest.raises(ClusteringError):
+            kmeans(pts, 2, rng=rng, weights=-np.ones(4))
+
+    def test_all_zero_weights_fall_back_to_uniform(self, rng):
+        pts = _two_blobs(rng)
+        labels = kmeans(pts, 2, rng=rng, weights=np.zeros(60))
+        assert len(set(labels.tolist())) == 2

@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.cluster.louvain`."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import LouvainClusterer, get_clusterer
+from repro.cluster.louvain import modularity
+from repro.exceptions import ClusteringError
+from repro.graph import UndirectedGraph
+from tests.conftest import planted_two_cluster_ugraph
+
+
+class TestModularity:
+    def test_perfect_split_positive(self, two_blob_ugraph):
+        labels = np.array([0] * 20 + [1] * 20)
+        assert modularity(two_blob_ugraph.adjacency, labels) > 0.3
+
+    def test_single_community_zero_ish(self, two_blob_ugraph):
+        labels = np.zeros(40, dtype=int)
+        assert modularity(two_blob_ugraph.adjacency, labels) == (
+            pytest.approx(0.0, abs=0.05)
+        )
+
+    def test_good_beats_random(self, two_blob_ugraph, rng):
+        good = np.array([0] * 20 + [1] * 20)
+        random_labels = rng.integers(0, 2, size=40)
+        adj = two_blob_ugraph.adjacency
+        assert modularity(adj, good) > modularity(adj, random_labels)
+
+    def test_resolution_shifts_value(self, two_blob_ugraph):
+        labels = np.array([0] * 20 + [1] * 20)
+        adj = two_blob_ugraph.adjacency
+        assert modularity(adj, labels, resolution=2.0) < modularity(
+            adj, labels, resolution=0.5
+        )
+
+    def test_empty_graph(self):
+        g = UndirectedGraph.empty(3)
+        assert modularity(g.adjacency, np.zeros(3, dtype=int)) == 0.0
+
+    def test_rejects_wrong_length(self, two_blob_ugraph):
+        with pytest.raises(ClusteringError):
+            modularity(two_blob_ugraph.adjacency, np.zeros(3, dtype=int))
+
+
+class TestLouvain:
+    def test_registered(self):
+        assert isinstance(get_clusterer("louvain"), LouvainClusterer)
+
+    def test_two_blobs(self, two_blob_ugraph):
+        c = LouvainClusterer().cluster(two_blob_ugraph)
+        assert c.n_clusters == 2
+        assert len(set(c.labels[:20].tolist())) == 1
+        assert c.labels[0] != c.labels[-1]
+
+    def test_ring_of_cliques(self):
+        edges = []
+        for block in range(5):
+            base = block * 6
+            for i in range(6):
+                for j in range(i + 1, 6):
+                    edges.append((base + i, base + j, 1.0))
+            edges.append((base, ((block + 1) % 5) * 6, 0.1))
+        g = UndirectedGraph.from_edges(edges, n_nodes=30)
+        c = LouvainClusterer().cluster(g)
+        assert c.n_clusters == 5
+
+    def test_advisory_k(self, two_blob_ugraph):
+        c = LouvainClusterer().cluster(two_blob_ugraph, 2)
+        assert c.n_clusters == 2
+
+    def test_higher_resolution_more_clusters(self):
+        g = planted_two_cluster_ugraph(n_per_side=25)
+        low = LouvainClusterer(resolution=0.5).cluster(g)
+        high = LouvainClusterer(resolution=8.0).cluster(g)
+        assert high.n_clusters >= low.n_clusters
+
+    def test_improves_modularity_over_singletons(self, two_blob_ugraph):
+        c = LouvainClusterer().cluster(two_blob_ugraph)
+        adj = two_blob_ugraph.adjacency
+        assert modularity(adj, c.labels) > modularity(
+            adj, np.arange(40)
+        )
+
+    def test_isolated_nodes_form_own_clusters(self):
+        g = UndirectedGraph.from_edges([(0, 1)], n_nodes=4)
+        c = LouvainClusterer().cluster(g)
+        assert c.labels[0] == c.labels[1]
+        assert c.labels[2] != c.labels[3]
+
+    def test_deterministic_given_seed(self, two_blob_ugraph):
+        c1 = LouvainClusterer(seed=3).cluster(two_blob_ugraph)
+        c2 = LouvainClusterer(seed=3).cluster(two_blob_ugraph)
+        assert c1 == c2
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ClusteringError):
+            LouvainClusterer(resolution=0.0)
+
+    def test_repr(self):
+        assert "resolution" in repr(LouvainClusterer())
+
+    def test_works_in_pipeline(self, cora_small):
+        import repro
+
+        pipe = repro.SymmetrizeClusterPipeline(
+            "degree_discounted", "louvain", threshold=0.05
+        )
+        result = pipe.run(
+            cora_small.graph, ground_truth=cora_small.ground_truth
+        )
+        assert result.average_f > 30.0

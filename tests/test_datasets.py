@@ -1,0 +1,156 @@
+"""Tests for the synthetic dataset builders (§4.1 / Table 1 properties)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    guzmania_motif,
+    make_cora_like,
+    make_flickr_like,
+    make_livejournal_like,
+    make_wikipedia_like,
+)
+from repro.exceptions import DatasetError
+from repro.graph.stats import percent_symmetric_links
+
+
+class TestCoraLike:
+    def test_basic_shape(self, cora_small):
+        assert cora_small.name == "cora-like"
+        assert cora_small.n_nodes >= 600
+        assert cora_small.ground_truth is not None
+        assert cora_small.ground_truth.n_categories == 12
+
+    def test_reciprocity_near_target(self, cora_small):
+        r = percent_symmetric_links(cora_small.graph)
+        assert r == pytest.approx(7.7, abs=3.0)
+
+    def test_unlabeled_fraction(self, cora_small):
+        labeled = cora_small.ground_truth.labeled_fraction()
+        assert labeled == pytest.approx(0.80, abs=0.05)
+
+    def test_deterministic(self):
+        a = make_cora_like(n_nodes=300, n_categories=6, seed=5)
+        b = make_cora_like(n_nodes=300, n_categories=6, seed=5)
+        assert a.graph == b.graph
+
+    def test_seeds_differ(self):
+        a = make_cora_like(n_nodes=300, n_categories=6, seed=1)
+        b = make_cora_like(n_nodes=300, n_categories=6, seed=2)
+        assert a.graph != b.graph
+
+    def test_scale_parameter(self):
+        small = make_cora_like(n_nodes=400, n_categories=6, scale=0.5)
+        assert small.n_nodes == pytest.approx(200, abs=20)
+
+    def test_categories_reduced_for_tiny_graphs(self):
+        ds = make_cora_like(n_nodes=60, n_categories=70)
+        assert ds.ground_truth.n_categories <= 60 // 8
+
+    def test_hubs_have_high_in_degree(self, cora_small):
+        indeg = cora_small.graph.in_degrees()
+        median = np.median(indeg[indeg > 0])
+        assert indeg.max() > 5 * median
+
+    def test_dataset_properties(self, cora_small):
+        assert cora_small.n_edges == cora_small.graph.n_edges
+        assert "citation" in cora_small.description
+
+
+class TestWikipediaLike:
+    def test_basic_shape(self, wiki_small):
+        assert wiki_small.name == "wikipedia-like"
+        assert wiki_small.ground_truth is not None
+        # Block categories + list clusters.
+        assert wiki_small.ground_truth.n_categories == 12 + 3
+
+    def test_reciprocity_near_target(self, wiki_small):
+        r = percent_symmetric_links(wiki_small.graph)
+        assert r == pytest.approx(42.1, abs=8.0)
+
+    def test_unlabeled_fraction(self, wiki_small):
+        labeled = wiki_small.ground_truth.labeled_fraction()
+        assert labeled == pytest.approx(0.65, abs=0.08)
+
+    def test_overlapping_categories_exist(self, wiki_small):
+        counts = np.asarray(
+            wiki_small.ground_truth.membership.sum(axis=1)
+        ).ravel()
+        assert (counts > 1).sum() > 0
+
+    def test_list_cluster_members_do_not_interlink(self, wiki_small):
+        gt = wiki_small.ground_truth
+        # List categories are the last three; find members of one that
+        # exist (some may have been unlabeled).
+        members = gt.category_members(gt.n_categories - 1)
+        if members.size >= 2:
+            sub = wiki_small.graph.adjacency[members][:, members]
+            # Background noise may add a stray edge; the block must be
+            # nearly empty rather than clique-like.
+            assert sub.nnz <= members.size
+
+    def test_rejects_too_many_list_clusters(self):
+        with pytest.raises(DatasetError, match="list clusters"):
+            make_wikipedia_like(n_nodes=300, n_list_clusters=50)
+
+    def test_deterministic(self):
+        a = make_wikipedia_like(n_nodes=600, n_categories=6, seed=3,
+                                n_list_clusters=2)
+        b = make_wikipedia_like(n_nodes=600, n_categories=6, seed=3,
+                                n_list_clusters=2)
+        assert a.graph == b.graph
+
+
+class TestSocialDatasets:
+    def test_flickr_reciprocity(self):
+        ds = make_flickr_like(n_nodes=2000, seed=0)
+        assert ds.ground_truth is None
+        r = percent_symmetric_links(ds.graph)
+        assert r == pytest.approx(62.4, abs=10.0)
+
+    def test_livejournal_reciprocity(self):
+        ds = make_livejournal_like(n_nodes=2000, seed=0)
+        assert ds.ground_truth is None
+        r = percent_symmetric_links(ds.graph)
+        assert r == pytest.approx(73.4, abs=10.0)
+
+    def test_power_law_tail(self):
+        ds = make_flickr_like(n_nodes=3000, seed=1)
+        indeg = ds.graph.in_degrees()
+        assert indeg.max() > 20 * np.median(indeg[indeg > 0])
+
+    def test_scale(self):
+        ds = make_livejournal_like(n_nodes=1000, scale=2.0)
+        assert ds.n_nodes == 2000
+
+
+class TestGuzmaniaMotif:
+    def test_species_share_neighbors_without_interlinking(self):
+        g, roles = guzmania_motif()
+        species = roles["species"]
+        sub = g.adjacency[species][:, species]
+        assert sub.nnz == 0
+        s0, s1 = species[0], species[1]
+        assert set(g.successors(s0)) == set(g.successors(s1))
+
+    def test_genus_mutual_links(self):
+        g, roles = guzmania_motif()
+        genus = roles["genus"][0]
+        for s in roles["species"]:
+            assert g.has_edge(genus, s)
+            assert g.has_edge(s, genus)
+
+    def test_named_nodes(self):
+        g, roles = guzmania_motif()
+        assert g.name_of(roles["genus"][0]) == "Guzmania"
+        assert "Poales" in [g.name_of(t) for t in roles["shared_targets"]]
+
+    def test_no_background_option(self):
+        g, roles = guzmania_motif(with_background=False)
+        assert roles["background"] == []
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(DatasetError):
+            guzmania_motif(n_species=1)
+        with pytest.raises(DatasetError):
+            guzmania_motif(n_shared_targets=0)

@@ -1,0 +1,95 @@
+"""Unit tests for :mod:`repro.datasets.storage`."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, make_flickr_like, save_dataset
+from repro.exceptions import DatasetError
+
+
+class TestRoundTrip:
+    def test_with_ground_truth(self, tmp_path, cora_small):
+        save_dataset(cora_small, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.name == cora_small.name
+        assert loaded.description == cora_small.description
+        assert loaded.graph == cora_small.graph
+        assert (
+            loaded.ground_truth.n_categories
+            == cora_small.ground_truth.n_categories
+        )
+        diff = (
+            loaded.ground_truth.membership
+            - cora_small.ground_truth.membership
+        ).tocsr()
+        diff.eliminate_zeros()
+        assert diff.nnz == 0
+
+    def test_overlapping_memberships_preserved(self, tmp_path, wiki_small):
+        save_dataset(wiki_small, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        counts = np.asarray(
+            loaded.ground_truth.membership.sum(axis=1)
+        ).ravel()
+        original = np.asarray(
+            wiki_small.ground_truth.membership.sum(axis=1)
+        ).ravel()
+        assert np.array_equal(counts, original)
+        assert (counts > 1).any()  # overlaps survived
+
+    def test_without_ground_truth(self, tmp_path):
+        ds = make_flickr_like(n_nodes=300, seed=1)
+        save_dataset(ds, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.ground_truth is None
+        assert loaded.graph == ds.graph
+
+    def test_overwrite_replaces_truth(self, tmp_path, cora_small):
+        target = tmp_path / "ds"
+        save_dataset(cora_small, target)
+        no_truth = make_flickr_like(n_nodes=200, seed=0)
+        save_dataset(no_truth, target)
+        loaded = load_dataset(target)
+        assert loaded.ground_truth is None
+
+
+class TestErrors:
+    def test_refuses_file_path(self, tmp_path, cora_small):
+        blocker = tmp_path / "file"
+        blocker.write_text("hi")
+        with pytest.raises(DatasetError, match="not a directory"):
+            save_dataset(cora_small, blocker)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(DatasetError, match="saved dataset"):
+            load_dataset(tmp_path / "nope")
+
+    def test_malformed_meta(self, tmp_path, cora_small):
+        target = tmp_path / "ds"
+        save_dataset(cora_small, target)
+        (target / "meta.json").write_text('{"name": "x"}')
+        with pytest.raises(DatasetError, match="metadata"):
+            load_dataset(target)
+
+    def test_malformed_truth(self, tmp_path, cora_small):
+        target = tmp_path / "ds"
+        save_dataset(cora_small, target)
+        (target / "ground_truth.json").write_text('{"bad": true}')
+        with pytest.raises(DatasetError, match="ground truth"):
+            load_dataset(target)
+
+    def test_truth_size_mismatch(self, tmp_path, cora_small):
+        target = tmp_path / "ds"
+        save_dataset(cora_small, target)
+        payload = json.loads(
+            (target / "ground_truth.json").read_text()
+        )
+        payload["n_nodes"] = 3
+        payload["memberships"] = [[0, 0]]
+        (target / "ground_truth.json").write_text(
+            json.dumps(payload)
+        )
+        with pytest.raises(DatasetError, match="covers"):
+            load_dataset(target)

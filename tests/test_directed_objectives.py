@@ -1,0 +1,164 @@
+"""Unit tests for :mod:`repro.directed.objectives` (Eqs. 1–4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.graph import DirectedGraph, UndirectedGraph
+from repro.directed.objectives import (
+    clustering_ncut,
+    ncut,
+    ncut_directed,
+    wcut,
+)
+from repro.linalg.pagerank import pagerank
+
+
+class TestNcut:
+    def test_hand_computed(self):
+        # Two triangles joined by one edge of weight 1; unit triangle
+        # edges. cut = 1; vol(S) = vol(S̄) = 7.
+        g = UndirectedGraph.from_edges(
+            [
+                (0, 1), (1, 2), (0, 2),
+                (3, 4), (4, 5), (3, 5),
+                (2, 3),
+            ],
+            n_nodes=6,
+        )
+        value = ncut(g, [0, 1, 2])
+        assert value == pytest.approx(1 / 7 + 1 / 7)
+
+    def test_boolean_mask_input(self):
+        g = UndirectedGraph.from_edges([(0, 1), (1, 2)], n_nodes=3)
+        mask = np.array([True, False, False])
+        assert ncut(g, mask) == ncut(g, [0])
+
+    def test_perfect_split_zero(self):
+        g = UndirectedGraph.from_edges([(0, 1), (2, 3)], n_nodes=4)
+        assert ncut(g, [0, 1]) == 0.0
+
+    def test_zero_volume_infinite(self):
+        g = UndirectedGraph.from_edges([(0, 1)], n_nodes=3)
+        assert ncut(g, [2]) == float("inf")
+
+    def test_rejects_empty_subset(self, small_weighted_ugraph):
+        with pytest.raises(EvaluationError, match="proper"):
+            ncut(small_weighted_ugraph, [])
+
+    def test_rejects_full_subset(self, small_weighted_ugraph):
+        with pytest.raises(EvaluationError, match="proper"):
+            ncut(small_weighted_ugraph, list(range(6)))
+
+    def test_rejects_out_of_range(self, small_weighted_ugraph):
+        with pytest.raises(EvaluationError, match="range"):
+            ncut(small_weighted_ugraph, [99])
+
+    def test_rejects_wrong_mask_length(self, small_weighted_ugraph):
+        with pytest.raises(EvaluationError, match="length"):
+            ncut(small_weighted_ugraph, np.array([True, False]))
+
+    def test_complement_symmetric(self, small_weighted_ugraph):
+        s = [0, 1, 2]
+        complement = [3, 4, 5]
+        assert ncut(small_weighted_ugraph, s) == pytest.approx(
+            ncut(small_weighted_ugraph, complement)
+        )
+
+
+class TestNcutDirected:
+    def test_figure1_cluster_has_high_ncut_dir(self, figure1):
+        """The paper's motivating observation: the natural pair {4,5}
+        has a *high* directed Ncut (a random walk always leaves it)."""
+        g, roles = figure1
+        value = ncut_directed(g, roles["pair"])
+        # The walk leaves the pair with probability 1 at every step.
+        assert value > 0.9
+
+    def test_cyclic_halves_moderate(self):
+        # Two 3-cycles with a single connecting edge each way.
+        g = DirectedGraph.from_edges(
+            [
+                (0, 1), (1, 2), (2, 0),
+                (3, 4), (4, 5), (5, 3),
+                (2, 3), (5, 0),
+            ],
+            n_nodes=6,
+        )
+        value = ncut_directed(g, [0, 1, 2], teleport=1e-4)
+        assert 0.0 < value < 0.7
+
+    def test_custom_pi_accepted(self, triangle_digraph):
+        pi = np.full(3, 1 / 3)
+        value = ncut_directed(triangle_digraph, [0], pi=pi)
+        assert value > 0
+
+    def test_rejects_wrong_pi_length(self, triangle_digraph):
+        with pytest.raises(EvaluationError):
+            ncut_directed(triangle_digraph, [0], pi=np.ones(5))
+
+
+class TestWCut:
+    def test_recovers_ncut_dir_with_pi_weights(self, rng):
+        """Eq. 4 with A := P and T = T' = pi equals Eq. 3."""
+        from repro.graph.generators import directed_sbm
+        from repro.linalg.pagerank import transition_matrix
+
+        g, _ = directed_sbm([6, 6], p_in=0.7, p_out=0.2, rng=rng)
+        g = g.largest_weakly_connected_component()
+        pi = pagerank(g, teleport=1e-3)
+        P, _ = transition_matrix(g)
+        as_graph = DirectedGraph(P, validate=False)
+        subset = list(range(g.n_nodes // 2))
+        wcut_value = wcut(as_graph, subset, T=pi, T_prime=pi)
+        ncut_value = ncut_directed(g, subset, pi=pi)
+        assert wcut_value == pytest.approx(ncut_value, rel=1e-9)
+
+    def test_recovers_plain_ncut_on_symmetric_graph(self):
+        """Eq. 4 with symmetric A, T' = 1, T = degree equals Eq. 1."""
+        edges = [(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]
+        g = DirectedGraph.from_edges(edges, n_nodes=4)
+        u = UndirectedGraph.from_edges([(0, 1), (1, 2), (2, 3)], n_nodes=4)
+        degrees = g.total_degrees(weighted=True) / 2.0
+        value = wcut(
+            g, [0, 1], T=degrees, T_prime=np.ones(4)
+        )
+        assert value == pytest.approx(ncut(u, [0, 1]))
+
+    def test_rejects_wrong_weight_lengths(self, triangle_digraph):
+        with pytest.raises(EvaluationError):
+            wcut(triangle_digraph, [0], T=np.ones(2), T_prime=np.ones(3))
+
+    def test_zero_denominator_infinite(self, triangle_digraph):
+        value = wcut(
+            triangle_digraph,
+            [0],
+            T=np.array([0.0, 1.0, 1.0]),
+            T_prime=np.ones(3),
+        )
+        assert value == float("inf")
+
+
+class TestClusteringNcut:
+    def test_two_way_equals_ncut(self, small_weighted_ugraph):
+        # For k=2 the k-way objective sum_c cut(c)/vol(c) is exactly
+        # Ncut(S) of either side (Eq. 1 already sums both sides).
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        value = clustering_ncut(small_weighted_ugraph, labels)
+        assert value == pytest.approx(ncut(small_weighted_ugraph, [0, 1, 2]))
+
+    def test_single_cluster_zero(self, small_weighted_ugraph):
+        assert clustering_ncut(
+            small_weighted_ugraph, np.zeros(6, dtype=int)
+        ) == 0.0
+
+    def test_good_split_beats_bad(self, small_weighted_ugraph):
+        good = np.array([0, 0, 0, 1, 1, 1])
+        bad = np.array([0, 1, 0, 1, 0, 1])
+        assert clustering_ncut(
+            small_weighted_ugraph, good
+        ) < clustering_ncut(small_weighted_ugraph, bad)
+
+    def test_rejects_wrong_length(self, small_weighted_ugraph):
+        with pytest.raises(EvaluationError):
+            clustering_ncut(small_weighted_ugraph, np.zeros(3, dtype=int))

@@ -1,0 +1,157 @@
+"""Unit tests for :mod:`repro.eval.agreement` (purity, NMI, ARI)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.common import Clustering
+from repro.eval.agreement import (
+    adjusted_rand_index,
+    flatten_ground_truth,
+    normalized_mutual_information,
+    purity,
+)
+from repro.eval.groundtruth import GroundTruth
+from repro.exceptions import EvaluationError
+
+
+IDENTICAL = (np.array([0, 0, 1, 1, 2]), np.array([2, 2, 0, 0, 1]))
+
+
+class TestPurity:
+    def test_identical_partitions(self):
+        assert purity(*IDENTICAL) == 1.0
+
+    def test_hand_computed(self):
+        labels = np.array([0, 0, 0, 1])
+        truth = np.array([0, 0, 1, 1])
+        # Cluster 0 majority 2/3, cluster 1 majority 1/1 -> 3/4.
+        assert purity(labels, truth) == 0.75
+
+    def test_singleton_gaming(self):
+        truth = np.array([0, 0, 1, 1])
+        assert purity(np.arange(4), truth) == 1.0  # purity is gameable
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(EvaluationError):
+            purity(np.array([0]), np.array([0, 1]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(EvaluationError, match="non-negative"):
+            purity(np.array([-1, 0]), np.array([0, 0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            purity(np.array([], dtype=int), np.array([], dtype=int))
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        assert normalized_mutual_information(*IDENTICAL) == (
+            pytest.approx(1.0)
+        )
+
+    def test_independent_partitions_near_zero(self, rng):
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_single_cluster_degenerate(self):
+        labels = np.zeros(5, dtype=int)
+        truth = np.array([0, 0, 1, 1, 1])
+        assert normalized_mutual_information(labels, truth) == 0.0
+
+    def test_both_single_identical(self):
+        labels = np.zeros(4, dtype=int)
+        assert normalized_mutual_information(labels, labels) == 1.0
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 3, size=100)
+        b = rng.integers(0, 5, size=100)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_bounded(self, rng):
+        a = rng.integers(0, 6, size=200)
+        b = rng.integers(0, 3, size=200)
+        value = normalized_mutual_information(a, b)
+        assert 0.0 <= value <= 1.0
+
+
+class TestARI:
+    def test_identical_partitions(self):
+        assert adjusted_rand_index(*IDENTICAL) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self, rng):
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert abs(adjusted_rand_index(a, b)) < 0.01
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 3, size=100)
+        b = rng.integers(0, 5, size=100)
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_hand_computed(self):
+        labels = np.array([0, 0, 1, 1, 1])
+        truth = np.array([0, 0, 0, 1, 1])
+        # Contingency {{2,0},{1,2}}: sum_cells C2 = 2, rows = 4,
+        # cols = 4, total pairs = 10 -> ARI = (2 - 1.6)/(4 - 1.6).
+        value = adjusted_rand_index(labels, truth)
+        assert value == pytest.approx((2 - 1.6) / (4 - 1.6))
+
+    def test_all_singletons_vs_one_cluster(self):
+        labels = np.arange(6)
+        truth = np.zeros(6, dtype=int)
+        assert adjusted_rand_index(labels, truth) == 0.0
+
+
+class TestFlatten:
+    def test_excludes_unlabeled(self):
+        c = Clustering([0, 0, 1, 1])
+        gt = GroundTruth.from_labels([0, -1, 1, 1])
+        labels, truth = flatten_ground_truth(c, gt)
+        assert labels.size == 3
+        assert truth.size == 3
+
+    def test_first_category_wins_for_overlap(self):
+        c = Clustering([0, 1])
+        gt = GroundTruth.from_categories(
+            {"a": [0, 1], "b": [0]}, n_nodes=2
+        )
+        _, truth = flatten_ground_truth(c, gt)
+        assert truth.tolist() == [0, 0]
+
+    def test_rejects_size_mismatch(self):
+        c = Clustering([0, 1])
+        gt = GroundTruth.from_labels([0, 1, 2])
+        with pytest.raises(EvaluationError):
+            flatten_ground_truth(c, gt)
+
+    def test_rejects_fully_unlabeled(self):
+        c = Clustering([0, 1])
+        gt = GroundTruth.from_labels([-1, -1])
+        with pytest.raises(EvaluationError):
+            flatten_ground_truth(c, gt)
+
+    def test_end_to_end_with_metrics(self, cora_small):
+        import repro
+
+        u = repro.symmetrize(
+            cora_small.graph, "degree_discounted", threshold=0.05
+        )
+        clustering = repro.MetisClusterer().cluster(u, 12)
+        labels, truth = flatten_ground_truth(
+            clustering, cora_small.ground_truth
+        )
+        nmi = normalized_mutual_information(labels, truth)
+        ari = adjusted_rand_index(labels, truth)
+        # Cross-check: the F-winner also wins on NMI/ARI vs random.
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 12, size=labels.size)
+        assert nmi > normalized_mutual_information(
+            random_labels, truth
+        )
+        assert ari > adjusted_rand_index(random_labels, truth)

@@ -1,0 +1,132 @@
+"""Unit tests for the §4.3 F-measure evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.common import Clustering
+from repro.eval.fmeasure import (
+    average_f_score,
+    correctly_clustered_mask,
+    f_score_report,
+)
+from repro.eval.groundtruth import GroundTruth
+from repro.exceptions import EvaluationError
+
+
+class TestAverageF:
+    def test_perfect_clustering(self):
+        labels = [0, 0, 1, 1]
+        c = Clustering(labels)
+        gt = GroundTruth.from_labels(labels)
+        assert average_f_score(c, gt) == 100.0
+
+    def test_hand_computed_partial_match(self):
+        # Cluster {0,1,2}: best category {0,1} -> P=2/3, R=1, F=0.8.
+        # Cluster {3}: category {2,3} -> P=1, R=0.5, F=2/3.
+        # Weighted: (3*0.8 + 1*2/3) / 4 = 0.7666...
+        c = Clustering([0, 0, 0, 1])
+        gt = GroundTruth.from_labels([0, 0, 1, 1])
+        expected = 100 * (3 * 0.8 + 1 * (2 / 3)) / 4
+        assert average_f_score(c, gt) == pytest.approx(expected)
+
+    def test_single_cluster_low_precision(self):
+        c = Clustering([0, 0, 0, 0])
+        gt = GroundTruth.from_labels([0, 0, 1, 1])
+        # P = 0.5, R = 1.0, F = 2/3 for either category.
+        assert average_f_score(c, gt) == pytest.approx(100 * 2 / 3)
+
+    def test_unlabeled_excluded_by_default(self):
+        c = Clustering([0, 0, 0])
+        gt = GroundTruth.from_labels([0, 0, -1])
+        # Unlabeled node 2 removed: cluster is pure.
+        assert average_f_score(c, gt) == 100.0
+
+    def test_unlabeled_counted_when_requested(self):
+        c = Clustering([0, 0, 0])
+        gt = GroundTruth.from_labels([0, 0, -1])
+        score = average_f_score(c, gt, restrict_to_labeled=False)
+        # P = 2/3, R = 1 -> F = 0.8.
+        assert score == pytest.approx(80.0)
+
+    def test_overlapping_categories_best_match(self):
+        gt = GroundTruth.from_categories(
+            {"a": [0, 1], "ab": [0, 1, 2, 3]}, n_nodes=4
+        )
+        c = Clustering([0, 0, 1, 1])
+        # Cluster {0,1} matches "a" perfectly (F=1) rather than "ab"
+        # (P=1, R=0.5, F=2/3).
+        report = f_score_report(c, gt)
+        assert report.per_cluster_f[0] == pytest.approx(100.0)
+        assert report.best_category[0] == 0
+
+    def test_no_overlap_cluster_scores_zero(self):
+        c = Clustering([0, 1])
+        gt = GroundTruth.from_categories({"a": [0]}, n_nodes=2)
+        report = f_score_report(c, gt)
+        assert report.per_cluster_f[1] == 0.0
+        assert report.best_category[1] == -1
+
+    def test_mismatched_sizes_rejected(self):
+        c = Clustering([0, 1])
+        gt = GroundTruth.from_labels([0, 1, 2])
+        with pytest.raises(EvaluationError, match="covers"):
+            average_f_score(c, gt)
+
+    def test_all_unlabeled(self):
+        c = Clustering([0, 1])
+        gt = GroundTruth.from_labels([-1, -1])
+        assert average_f_score(c, gt) == 0.0
+
+    def test_more_clusters_than_categories(self):
+        c = Clustering([0, 1, 2, 3])
+        gt = GroundTruth.from_labels([0, 0, 1, 1])
+        # Each singleton cluster: P=1, R=0.5, F=2/3.
+        assert average_f_score(c, gt) == pytest.approx(100 * 2 / 3)
+
+
+class TestReport:
+    def test_report_fields(self):
+        c = Clustering([0, 0, 1, 1])
+        gt = GroundTruth.from_labels([0, 0, 1, -1])
+        report = f_score_report(c, gt)
+        assert report.cluster_sizes.tolist() == [2, 1]
+        assert report.n_evaluated_nodes == 3
+        assert report.per_cluster_f.shape == (2,)
+
+    def test_report_percent_scale(self):
+        c = Clustering([0, 0])
+        gt = GroundTruth.from_labels([0, 0])
+        report = f_score_report(c, gt)
+        assert report.average_f == 100.0
+
+
+class TestCorrectlyClustered:
+    def test_perfect_all_correct(self):
+        labels = [0, 0, 1]
+        mask = correctly_clustered_mask(
+            Clustering(labels), GroundTruth.from_labels(labels)
+        )
+        assert mask.all()
+
+    def test_misplaced_node_incorrect(self):
+        c = Clustering([0, 0, 0, 1, 1, 1])
+        gt = GroundTruth.from_labels([0, 0, 1, 1, 1, 1])
+        mask = correctly_clustered_mask(c, gt)
+        # Node 2 sits in the cluster matched to category 0 but belongs
+        # to category 1.
+        assert not mask[2]
+        assert mask[[0, 1, 3, 4, 5]].all()
+
+    def test_unlabeled_never_correct(self):
+        c = Clustering([0, 0])
+        gt = GroundTruth.from_labels([0, -1])
+        mask = correctly_clustered_mask(c, gt)
+        assert mask[0]
+        assert not mask[1]
+
+    def test_unmatched_cluster_all_incorrect(self):
+        c = Clustering([0, 1])
+        gt = GroundTruth.from_categories({"a": [0]}, n_nodes=2)
+        mask = correctly_clustered_mask(c, gt)
+        assert mask[0]
+        assert not mask[1]

@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.eval.groundtruth`."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.eval.groundtruth import GroundTruth
+from repro.exceptions import EvaluationError
+
+
+class TestConstruction:
+    def test_from_labels(self):
+        gt = GroundTruth.from_labels([0, 0, 1, -1])
+        assert gt.n_nodes == 4
+        assert gt.n_categories == 2
+        assert gt.labeled_fraction() == 0.75
+
+    def test_from_labels_non_contiguous(self):
+        gt = GroundTruth.from_labels([10, 20, 10])
+        assert gt.n_categories == 2
+        assert gt.category_names == [10, 20]
+
+    def test_from_labels_custom_unlabeled_marker(self):
+        gt = GroundTruth.from_labels([0, 99, 1], unlabeled=99)
+        assert gt.labeled_mask().tolist() == [True, False, True]
+
+    def test_from_categories_overlapping(self):
+        gt = GroundTruth.from_categories(
+            {"a": [0, 1], "b": [1, 2]}, n_nodes=4
+        )
+        assert gt.n_categories == 2
+        assert gt.membership[[1], :].sum() == 2  # node 1 in both
+
+    def test_from_categories_out_of_range(self):
+        with pytest.raises(EvaluationError, match="range"):
+            GroundTruth.from_categories({"a": [5]}, n_nodes=3)
+
+    def test_from_matrix(self):
+        m = sp.csr_array(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        gt = GroundTruth(m)
+        assert gt.n_categories == 2
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(EvaluationError, match="0 or 1"):
+            GroundTruth(np.array([[2.0]]))
+
+    def test_rejects_name_mismatch(self):
+        with pytest.raises(EvaluationError, match="names"):
+            GroundTruth(np.eye(2), category_names=["only-one"])
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(EvaluationError):
+            GroundTruth.from_labels(np.zeros((2, 2), dtype=int))
+
+
+class TestAccessors:
+    def test_category_sizes(self):
+        gt = GroundTruth.from_labels([0, 0, 1])
+        assert gt.category_sizes().tolist() == [2, 1]
+
+    def test_category_members(self):
+        gt = GroundTruth.from_labels([0, 1, 0])
+        assert gt.category_members(0).tolist() == [0, 2]
+
+    def test_category_members_out_of_range(self):
+        gt = GroundTruth.from_labels([0])
+        with pytest.raises(EvaluationError):
+            gt.category_members(7)
+
+    def test_labeled_mask_overlap(self):
+        gt = GroundTruth.from_categories(
+            {"a": [0], "b": [0]}, n_nodes=2
+        )
+        assert gt.labeled_mask().tolist() == [True, False]
+
+    def test_empty_ground_truth(self):
+        gt = GroundTruth(sp.csr_array((3, 0)))
+        assert gt.n_categories == 0
+        assert gt.labeled_fraction() == 0.0
+
+    def test_repr(self):
+        gt = GroundTruth.from_labels([0, -1])
+        assert "50%" in repr(gt)
+
+
+class TestFiltering:
+    def test_filter_small_categories(self):
+        gt = GroundTruth.from_categories(
+            {"big": [0, 1, 2], "small": [3]}, n_nodes=4
+        )
+        filtered = gt.filter_small_categories(2)
+        assert filtered.n_categories == 1
+        assert filtered.category_names == ["big"]
+
+    def test_filter_keeps_node_count(self):
+        gt = GroundTruth.from_categories({"small": [0]}, n_nodes=5)
+        filtered = gt.filter_small_categories(10)
+        assert filtered.n_nodes == 5
+        assert filtered.n_categories == 0
+
+    def test_filter_rejects_bad_min(self):
+        gt = GroundTruth.from_labels([0])
+        with pytest.raises(EvaluationError):
+            gt.filter_small_categories(0)

@@ -1,0 +1,80 @@
+"""Unit tests for the §5.6 paired binomial sign test."""
+
+import numpy as np
+import pytest
+
+from repro.eval.significance import sign_test
+from repro.exceptions import EvaluationError
+
+
+class TestSignTest:
+    def test_clear_winner(self):
+        a = np.array([True] * 80 + [False] * 20)
+        b = np.array([False] * 80 + [True] * 20)
+        result = sign_test(a, b)
+        assert result.winner == "a"
+        assert result.n_a_only == 80
+        assert result.n_b_only == 20
+        assert result.p_value < 1e-8
+
+    def test_symmetric_swap(self):
+        a = np.array([True, True, False, False])
+        b = np.array([False, False, False, True])
+        r1 = sign_test(a, b)
+        r2 = sign_test(b, a)
+        assert r1.p_value == pytest.approx(r2.p_value)
+        assert r1.winner == "a"
+        assert r2.winner == "b"
+
+    def test_hand_computed_p_value(self):
+        # 3 discordant, winner has all 3: P[X >= 3] = 1/8.
+        a = np.array([True, True, True, True])
+        b = np.array([False, False, False, True])
+        result = sign_test(a, b)
+        assert result.p_value == pytest.approx(0.125)
+
+    def test_tie(self):
+        a = np.array([True, False])
+        b = np.array([False, True])
+        result = sign_test(a, b)
+        assert result.winner == "tie"
+        assert result.p_value == 1.0
+
+    def test_no_discordance(self):
+        a = np.array([True, False, True])
+        result = sign_test(a, a)
+        assert result.winner == "tie"
+        assert result.p_value == 1.0
+        assert result.log10_p == 0.0
+
+    def test_concordant_nodes_ignored(self):
+        base_a = np.array([True, True, False, False, True])
+        base_b = np.array([True, True, False, False, False])
+        result = sign_test(base_a, base_b)
+        assert result.n_a_only == 1
+        assert result.n_b_only == 0
+        assert result.p_value == pytest.approx(0.5)
+
+    def test_extreme_counts_log_space(self):
+        """Paper-scale p-values (1e-22767) need log-space math."""
+        n = 100_000
+        a = np.ones(n, dtype=bool)
+        b = np.zeros(n, dtype=bool)
+        result = sign_test(a, b)
+        assert result.p_value == 0.0  # underflows
+        assert result.log10_p < -30000  # but the log is finite
+        assert np.isfinite(result.log10_p)
+
+    def test_log10_consistent_with_p(self):
+        a = np.array([True] * 10 + [False] * 5)
+        b = np.array([False] * 10 + [True] * 5)
+        result = sign_test(a, b)
+        assert 10.0**result.log10_p == pytest.approx(result.p_value)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            sign_test(np.array([True]), np.array([True, False]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(EvaluationError):
+            sign_test(np.ones((2, 2), dtype=bool), np.ones((2, 2), dtype=bool))

@@ -1,0 +1,48 @@
+"""Smoke tests: the runnable examples execute successfully.
+
+Only the fast examples run in the default suite; the two larger
+scenario scripts (`web_graph_hubs`, `social_network_scaling`) are
+covered by the same code paths in the benchmark harness and are
+exercised end-to-end there.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "guzmania_case_study.py",
+    "bipartite_coclustering.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), script
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py",
+        "citation_clustering.py",
+        "web_graph_hubs.py",
+        "guzmania_case_study.py",
+        "social_network_scaling.py",
+        "bipartite_coclustering.py",
+    }
+    found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert expected <= found

@@ -1,0 +1,137 @@
+"""Tests for :mod:`repro.experiments` (runner registry + smoke runs).
+
+The full-size experiment behaviour is asserted by the benchmark
+harness; here we verify the registry contract and that every runner
+completes at a tiny scale with sane structured output.
+"""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments import (
+    DatasetBundle,
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_bundle():
+    """A very small dataset bundle shared across this module."""
+    return DatasetBundle(scale=0.15, seed=0)
+
+
+class TestRegistry:
+    def test_expected_ids_present(self):
+        ids = available_experiments()
+        for expected in (
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig4",
+            "fig5a",
+            "fig5b",
+            "fig6",
+            "fig7a",
+            "fig7b",
+            "fig8a",
+            "fig8b",
+            "fig9a",
+            "fig9b",
+            "sec56",
+            "sec57",
+        ):
+            assert expected in ids
+
+    def test_unknown_id(self):
+        with pytest.raises(ReproError, match="unknown experiment"):
+            run_experiment("table99")
+
+    def test_case_insensitive(self, tiny_bundle):
+        result = run_experiment("TABLE1", bundle=tiny_bundle)
+        assert result.experiment == "table1"
+
+
+class TestBundle:
+    def test_scale_applies(self):
+        bundle = DatasetBundle(scale=0.1)
+        # 150 requested nodes plus the 5 appended hub papers.
+        assert bundle.cora().n_nodes == 155
+
+    def test_caching(self, tiny_bundle):
+        assert tiny_bundle.cora() is tiny_bundle.cora()
+
+    def test_all_datasets_buildable(self, tiny_bundle):
+        assert tiny_bundle.wiki().n_nodes > 0
+        assert tiny_bundle.flickr().ground_truth is None
+        assert tiny_bundle.livejournal().ground_truth is None
+
+
+class TestCheapRunners:
+    """The runners that finish in well under a second at tiny scale."""
+
+    def test_table1(self, tiny_bundle):
+        result = run_experiment("table1", bundle=tiny_bundle)
+        assert isinstance(result, ExperimentResult)
+        assert "Table 1" in result.text
+        assert set(result.data["reciprocity"]) == {
+            "cora-like",
+            "wikipedia-like",
+            "flickr-like",
+            "livejournal-like",
+        }
+
+    def test_table2(self, tiny_bundle):
+        result = run_experiment("table2", bundle=tiny_bundle)
+        assert 0.0 <= result.data["wiki_dd_singletons"] <= 1.0
+        assert 0.0 <= result.data["wiki_bib_singletons"] <= 1.0
+
+    def test_fig4(self, tiny_bundle):
+        result = run_experiment("fig4", bundle=tiny_bundle)
+        summaries = result.data["summaries"]
+        assert set(summaries) == {
+            "degree_discounted",
+            "bibliometric",
+            "naive",
+            "random_walk",
+        }
+
+    def test_table5(self, tiny_bundle):
+        result = run_experiment("table5", bundle=tiny_bundle)
+        assert set(result.data["hub_touch"]) == {
+            "random_walk",
+            "bibliometric",
+            "degree_discounted",
+        }
+        assert result.data["median_pagerank"] > 0
+
+    def test_sec57(self, tiny_bundle):
+        result = run_experiment("sec57", bundle=tiny_bundle)
+        weights = result.data["figure1_pair_weights"]
+        assert weights["naive"] == 0.0
+        assert weights["degree_discounted"] > 0.0
+        assert ("degree_discounted", "MLR-MCL") in result.data[
+            "guzmania"
+        ]
+
+
+class TestModerateRunners:
+    """Quality/timing runners — still tractable at tiny scale."""
+
+    def test_fig6(self, tiny_bundle):
+        result = run_experiment("fig6", bundle=tiny_bundle)
+        by_method = result.data["by_method"]
+        assert len(by_method) == 5
+        for f, seconds in by_method.values():
+            assert 0.0 <= f <= 100.0
+            assert seconds > 0.0
+
+    def test_fig9a(self, tiny_bundle):
+        result = run_experiment("fig9a", bundle=tiny_bundle)
+        times = result.data["times"]
+        assert all(
+            all(t > 0 for t in series) for series in times.values()
+        )

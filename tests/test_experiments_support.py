@@ -1,0 +1,68 @@
+"""Unit tests for :mod:`repro.experiments.support` helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.support import (
+    DISPLAY,
+    SYMMETRIZATIONS,
+    full_symmetrization,
+    match_edge_budget,
+    pruned_symmetrization,
+)
+from repro.graph.generators import power_law_digraph
+
+
+class TestConstants:
+    def test_display_covers_symmetrizations(self):
+        assert set(DISPLAY) == set(SYMMETRIZATIONS)
+
+    def test_paper_legend_names(self):
+        assert DISPLAY["naive"] == "A+A'"
+        assert DISPLAY["degree_discounted"] == "Degree-discounted"
+
+
+class TestFullSymmetrizationCache:
+    def test_same_graph_same_object(self, rng):
+        g = power_law_digraph(60, rng)
+        a = full_symmetrization(g, "naive")
+        b = full_symmetrization(g, "naive")
+        assert a is b
+
+    def test_different_methods_differ(self, rng):
+        g = power_law_digraph(60, rng)
+        a = full_symmetrization(g, "naive")
+        b = full_symmetrization(g, "bibliometric")
+        assert a is not b
+
+
+class TestPrunedSymmetrization:
+    def test_hits_target_roughly(self, cora_small):
+        pruned, threshold = pruned_symmetrization(
+            cora_small.graph, "degree_discounted", target_degree=15.0
+        )
+        avg = 2.0 * pruned.n_edges / pruned.n_nodes
+        assert avg == pytest.approx(15.0, rel=0.6)
+        assert threshold > 0
+
+    def test_sparse_method_unpruned(self, cora_small):
+        pruned, threshold = pruned_symmetrization(
+            cora_small.graph, "naive", target_degree=100.0
+        )
+        assert threshold == 0.0
+
+
+class TestMatchEdgeBudget:
+    def test_result_at_or_below_budget(self, cora_small):
+        full = full_symmetrization(cora_small.graph, "bibliometric")
+        target = full.n_edges // 4
+        matched, threshold = match_edge_budget(full, target)
+        assert matched.n_edges <= full.n_edges
+        # Bisection lands at the coarsest threshold not exceeding the
+        # budget (integer-valued bibliometric weights quantize this).
+        assert matched.n_edges <= target * 1.05 or threshold > 0
+
+    def test_huge_budget_keeps_everything(self, cora_small):
+        full = full_symmetrization(cora_small.graph, "bibliometric")
+        matched, threshold = match_edge_budget(full, full.n_edges * 2)
+        assert matched.n_edges == full.n_edges

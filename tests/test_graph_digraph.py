@@ -1,0 +1,220 @@
+"""Unit tests for :mod:`repro.graph.digraph`."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graph import DirectedGraph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = DirectedGraph.from_edges([(0, 1), (1, 2)], n_nodes=3)
+        assert g.n_nodes == 3
+        assert g.n_edges == 2
+
+    def test_from_edges_infers_node_count(self):
+        g = DirectedGraph.from_edges([(0, 5)])
+        assert g.n_nodes == 6
+
+    def test_from_edges_weighted(self):
+        g = DirectedGraph.from_edges([(0, 1, 2.5)], n_nodes=2)
+        assert g.edge_weight(0, 1) == 2.5
+
+    def test_duplicate_edges_sum(self):
+        g = DirectedGraph.from_edges([(0, 1), (0, 1)], n_nodes=2)
+        assert g.edge_weight(0, 1) == 2.0
+        assert g.n_edges == 1
+
+    def test_from_dense_matrix(self):
+        g = DirectedGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_from_sparse_matrix(self):
+        m = sp.csr_array(np.array([[0.0, 3.0], [0.0, 0.0]]))
+        g = DirectedGraph(m)
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphError, match="square"):
+            DirectedGraph(np.zeros((2, 3)))
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            DirectedGraph(np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+    def test_rejects_nan_weights(self):
+        with pytest.raises(GraphError, match="finite"):
+            DirectedGraph(np.array([[0.0, np.nan], [0.0, 0.0]]))
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(GraphError, match="out of range"):
+            DirectedGraph.from_edges([(0, 5)], n_nodes=3)
+
+    def test_rejects_negative_edge_endpoints(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            DirectedGraph.from_edges([(-1, 0)], n_nodes=2)
+
+    def test_rejects_bad_edge_arity(self):
+        with pytest.raises(GraphError, match="2 or 3"):
+            DirectedGraph.from_edges([(0, 1, 1.0, 9.0)], n_nodes=2)
+
+    def test_empty_edge_list_needs_n_nodes(self):
+        with pytest.raises(GraphError, match="n_nodes"):
+            DirectedGraph.from_edges([])
+
+    def test_empty_graph(self):
+        g = DirectedGraph.empty(4)
+        assert g.n_nodes == 4
+        assert g.n_edges == 0
+
+    def test_empty_rejects_negative(self):
+        with pytest.raises(GraphError):
+            DirectedGraph.empty(-1)
+
+    def test_node_names_length_checked(self):
+        with pytest.raises(GraphError, match="names"):
+            DirectedGraph(np.zeros((2, 2)), node_names=["a"])
+
+    def test_zero_weight_edges_dropped(self):
+        g = DirectedGraph(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        assert g.n_edges == 1
+
+
+class TestAccessors:
+    def test_name_of_defaults_to_index(self, triangle_digraph):
+        assert triangle_digraph.name_of(1) == 1
+
+    def test_named_lookup_roundtrip(self):
+        g = DirectedGraph.from_edges(
+            [(0, 1)], n_nodes=2, node_names=["a", "b"]
+        )
+        assert g.name_of(0) == "a"
+        assert g.index_of("b") == 1
+
+    def test_index_of_unknown_name(self):
+        g = DirectedGraph.from_edges(
+            [(0, 1)], n_nodes=2, node_names=["a", "b"]
+        )
+        with pytest.raises(GraphError, match="unknown"):
+            g.index_of("zzz")
+
+    def test_index_of_on_unnamed_graph(self, triangle_digraph):
+        with pytest.raises(GraphError, match="no node names"):
+            triangle_digraph.index_of("a")
+
+    def test_successors(self, triangle_digraph):
+        assert list(triangle_digraph.successors(0)) == [1]
+
+    def test_predecessors(self, triangle_digraph):
+        assert list(triangle_digraph.predecessors(0)) == [2]
+
+    def test_edges_iteration(self, triangle_digraph):
+        edges = set((i, j) for i, j, _ in triangle_digraph.edges())
+        assert edges == {(0, 1), (1, 2), (2, 0)}
+
+    def test_edge_weight_absent_edge(self, triangle_digraph):
+        assert triangle_digraph.edge_weight(0, 2) == 0.0
+
+
+class TestDegrees:
+    def test_out_degrees_count(self, triangle_digraph):
+        assert triangle_digraph.out_degrees().tolist() == [1, 1, 1]
+
+    def test_in_degrees_count(self, triangle_digraph):
+        assert triangle_digraph.in_degrees().tolist() == [1, 1, 1]
+
+    def test_weighted_degrees(self):
+        g = DirectedGraph.from_edges([(0, 1, 3.0), (0, 2, 2.0)], n_nodes=3)
+        assert g.out_degrees(weighted=True)[0] == 5.0
+        assert g.out_degrees(weighted=False)[0] == 2.0
+        assert g.in_degrees(weighted=True)[1] == 3.0
+
+    def test_total_degrees(self, triangle_digraph):
+        assert triangle_digraph.total_degrees().tolist() == [2, 2, 2]
+
+    def test_fan_degrees(self, two_fans_digraph):
+        assert two_fans_digraph.in_degrees()[2] == 2
+        assert two_fans_digraph.out_degrees()[2] == 1
+
+
+class TestTransformations:
+    def test_transpose_reverses_edges(self, triangle_digraph):
+        t = triangle_digraph.transpose()
+        assert t.has_edge(1, 0)
+        assert not t.has_edge(0, 1)
+
+    def test_transpose_involution(self, two_fans_digraph):
+        assert two_fans_digraph.transpose().transpose() == two_fans_digraph
+
+    def test_with_self_loops(self, triangle_digraph):
+        g = triangle_digraph.with_self_loops()
+        assert g.edge_weight(0, 0) == 1.0
+        assert g.n_edges == 6
+
+    def test_with_self_loops_custom_weight(self, triangle_digraph):
+        g = triangle_digraph.with_self_loops(weight=2.5)
+        assert g.edge_weight(1, 1) == 2.5
+
+    def test_without_self_loops(self, triangle_digraph):
+        g = triangle_digraph.with_self_loops().without_self_loops()
+        assert g == triangle_digraph
+
+    def test_subgraph(self, two_fans_digraph):
+        sub = two_fans_digraph.subgraph([0, 1, 2])
+        assert sub.n_nodes == 3
+        assert sub.has_edge(0, 2)
+        assert sub.n_edges == 2
+
+    def test_subgraph_preserves_names(self):
+        g = DirectedGraph.from_edges(
+            [(0, 1), (1, 2)], n_nodes=3, node_names=["a", "b", "c"]
+        )
+        sub = g.subgraph([2, 0])
+        assert sub.node_names == ["c", "a"]
+
+    def test_subgraph_out_of_range(self, triangle_digraph):
+        with pytest.raises(GraphError, match="out of range"):
+            triangle_digraph.subgraph([0, 9])
+
+    def test_largest_wcc(self):
+        g = DirectedGraph.from_edges(
+            [(0, 1), (1, 2), (3, 4)], n_nodes=5
+        )
+        comp = g.largest_weakly_connected_component()
+        assert comp.n_nodes == 3
+
+    def test_largest_wcc_connected_graph_unchanged(self, triangle_digraph):
+        assert (
+            triangle_digraph.largest_weakly_connected_component()
+            is triangle_digraph
+        )
+
+
+class TestDunder:
+    def test_repr(self, triangle_digraph):
+        assert "n_nodes=3" in repr(triangle_digraph)
+
+    def test_equality(self, triangle_digraph):
+        other = DirectedGraph.from_edges(
+            [(0, 1), (1, 2), (2, 0)], n_nodes=3
+        )
+        assert triangle_digraph == other
+
+    def test_inequality_different_edges(self, triangle_digraph):
+        other = DirectedGraph.from_edges([(0, 1)], n_nodes=3)
+        assert triangle_digraph != other
+
+    def test_inequality_different_sizes(self, triangle_digraph):
+        other = DirectedGraph.empty(3)
+        assert triangle_digraph != other
+        assert triangle_digraph != DirectedGraph.empty(4)
+
+    def test_not_hashable(self, triangle_digraph):
+        with pytest.raises(TypeError):
+            hash(triangle_digraph)
+
+    def test_eq_other_type(self, triangle_digraph):
+        assert triangle_digraph != "graph"

@@ -1,0 +1,321 @@
+"""Unit tests for :mod:`repro.graph.generators`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.generators import (
+    add_global_hubs,
+    combine,
+    directed_sbm,
+    figure1_graph,
+    kronecker_digraph,
+    power_law_digraph,
+    reciprocate_edges,
+    sample_power_law_degrees,
+    shared_neighbor_clusters,
+)
+from repro.graph.stats import percent_symmetric_links
+
+
+class TestDirectedSBM:
+    def test_shapes_and_labels(self, rng):
+        g, labels = directed_sbm([10, 20], p_in=0.3, p_out=0.01, rng=rng)
+        assert g.n_nodes == 30
+        assert labels.tolist() == [0] * 10 + [1] * 20
+
+    def test_intra_density_exceeds_inter(self, rng):
+        g, labels = directed_sbm([40, 40], p_in=0.3, p_out=0.01, rng=rng)
+        adj = g.adjacency
+        intra = adj[:40][:, :40].nnz + adj[40:][:, 40:].nnz
+        inter = adj.nnz - intra
+        assert intra > 3 * inter
+
+    def test_no_self_loops(self, rng):
+        g, _ = directed_sbm([30], p_in=0.5, p_out=0.0, rng=rng)
+        assert g.adjacency.diagonal().sum() == 0
+
+    def test_explicit_p_matrix(self, rng):
+        p = np.array([[0.0, 0.5], [0.0, 0.0]])
+        g, _ = directed_sbm([15, 15], 0, 0, rng=rng, p_matrix=p)
+        adj = g.adjacency
+        assert adj[:15][:, 15:].nnz > 0
+        assert adj[15:][:, :15].nnz == 0
+
+    def test_rejects_empty_sizes(self, rng):
+        with pytest.raises(DatasetError):
+            directed_sbm([], 0.5, 0.1, rng)
+
+    def test_rejects_bad_density(self, rng):
+        with pytest.raises(DatasetError, match="0, 1"):
+            directed_sbm([5], p_in=1.5, p_out=0.0, rng=rng)
+
+    def test_rejects_wrong_p_matrix_shape(self, rng):
+        with pytest.raises(DatasetError, match="2x2"):
+            directed_sbm([5, 5], 0, 0, rng, p_matrix=np.zeros((3, 3)))
+
+
+class TestPowerLawDegrees:
+    def test_range(self, rng):
+        d = sample_power_law_degrees(1000, 2.5, 2, 100, rng)
+        assert d.min() >= 2
+        assert d.max() <= 100
+
+    def test_heavy_tail_present(self, rng):
+        d = sample_power_law_degrees(5000, 2.1, 1, 1000, rng)
+        assert d.max() > 50  # the tail reaches high degrees
+
+    def test_rejects_gamma_below_one(self, rng):
+        with pytest.raises(DatasetError, match="gamma"):
+            sample_power_law_degrees(10, 0.9, 1, 10, rng)
+
+    def test_rejects_bad_bounds(self, rng):
+        with pytest.raises(DatasetError):
+            sample_power_law_degrees(10, 2.0, 5, 2, rng)
+
+
+class TestPowerLawDigraph:
+    def test_basic_shape(self, rng):
+        g = power_law_digraph(500, rng)
+        assert g.n_nodes == 500
+        assert g.n_edges > 500
+
+    def test_in_degree_skew(self, rng):
+        g = power_law_digraph(2000, rng, gamma_in=2.0)
+        indeg = g.in_degrees()
+        assert indeg.max() > 10 * np.median(indeg[indeg > 0])
+
+    def test_no_self_loops(self, rng):
+        g = power_law_digraph(200, rng)
+        assert g.adjacency.diagonal().sum() == 0
+
+    def test_rejects_tiny_n(self, rng):
+        with pytest.raises(DatasetError):
+            power_law_digraph(1, rng)
+
+
+class TestSharedNeighborClusters:
+    def test_members_never_interlink(self, rng):
+        g, labels = shared_neighbor_clusters(3, 5, 4, 4, rng)
+        for c in range(3):
+            members = np.flatnonzero(labels == c)
+            block = g.adjacency[members][:, members]
+            assert block.nnz == 0
+
+    def test_members_share_out_neighbors(self, rng):
+        g, labels = shared_neighbor_clusters(
+            2, 6, 5, 5, rng, p_member_to_out=1.0, p_in_to_member=1.0
+        )
+        members = np.flatnonzero(labels == 0)
+        first_targets = set(g.successors(members[0]).tolist())
+        second_targets = set(g.successors(members[1]).tolist())
+        assert first_targets & second_targets
+
+    def test_scaffolding_unlabeled(self, rng):
+        _, labels = shared_neighbor_clusters(2, 3, 2, 2, rng)
+        assert np.count_nonzero(labels == -1) == 2 * 4
+
+    def test_optional_intra_links(self, rng):
+        g, labels = shared_neighbor_clusters(
+            1, 10, 1, 1, rng, p_intra_member=0.9
+        )
+        members = np.flatnonzero(labels == 0)
+        assert g.adjacency[members][:, members].nnz > 0
+
+    def test_rejects_bad_counts(self, rng):
+        with pytest.raises(DatasetError):
+            shared_neighbor_clusters(0, 5, 1, 1, rng)
+        with pytest.raises(DatasetError):
+            shared_neighbor_clusters(1, 1, -1, 0, rng)
+
+
+class TestGlobalHubs:
+    def test_hub_in_degree_dominates(self, rng):
+        base = power_law_digraph(400, rng)
+        g, hubs = add_global_hubs(base, 2, rng, p_point_to_hub=0.5)
+        assert g.n_nodes == 402
+        indeg = g.in_degrees()
+        assert indeg[hubs].min() > np.median(indeg[: base.n_nodes]) * 5
+
+    def test_zero_hubs_identity(self, rng, triangle_digraph):
+        g, hubs = add_global_hubs(triangle_digraph, 0, rng)
+        assert g is triangle_digraph
+        assert hubs.size == 0
+
+    def test_hub_out_edges(self, rng):
+        base = power_law_digraph(300, rng)
+        g, hubs = add_global_hubs(
+            base, 1, rng, p_point_to_hub=0.1, p_hub_points_out=0.5
+        )
+        assert g.out_degrees()[hubs[0]] > 50
+
+    def test_hub_names_appended(self, rng):
+        from repro.graph import DirectedGraph
+
+        base = DirectedGraph.from_edges(
+            [(0, 1)], n_nodes=2, node_names=["a", "b"]
+        )
+        g, _ = add_global_hubs(base, 1, rng, p_point_to_hub=1.0)
+        assert g.node_names == ["a", "b", "hub_0"]
+
+    def test_rejects_negative(self, rng, triangle_digraph):
+        with pytest.raises(DatasetError):
+            add_global_hubs(triangle_digraph, -1, rng)
+
+
+class TestReciprocate:
+    def test_raises_reciprocity_to_target(self, rng):
+        g = power_law_digraph(800, rng)
+        before = percent_symmetric_links(g)
+        g2 = reciprocate_edges(g, 60.0, rng)
+        after = percent_symmetric_links(g2)
+        assert after > before
+        assert after == pytest.approx(60.0, abs=8.0)
+
+    def test_already_at_target_unchanged(self, rng, triangle_digraph):
+        g = reciprocate_edges(triangle_digraph, 0.0, rng)
+        assert g is triangle_digraph
+
+    def test_fully_symmetric_input_unchanged(self, rng):
+        from repro.graph import DirectedGraph
+
+        g = DirectedGraph.from_edges([(0, 1), (1, 0)], n_nodes=2)
+        assert reciprocate_edges(g, 50.0, rng) is g
+
+    def test_rejects_out_of_range(self, rng, triangle_digraph):
+        with pytest.raises(DatasetError):
+            reciprocate_edges(triangle_digraph, 150.0, rng)
+
+    def test_empty_graph(self, rng):
+        from repro.graph import DirectedGraph
+
+        g = DirectedGraph.empty(3)
+        assert reciprocate_edges(g, 50.0, rng) is g
+
+
+class TestKronecker:
+    def test_node_count(self, rng):
+        init = np.array([[0.9, 0.5], [0.5, 0.2]])
+        g = kronecker_digraph(init, 6, rng)
+        assert g.n_nodes == 64
+
+    def test_edge_count_scale(self, rng):
+        init = np.array([[0.9, 0.5], [0.5, 0.2]])
+        g = kronecker_digraph(init, 8, rng)
+        expected = init.sum() ** 8
+        assert 0.3 * expected < g.n_edges < 1.1 * expected
+
+    def test_rejects_non_square(self, rng):
+        with pytest.raises(DatasetError):
+            kronecker_digraph(np.zeros((2, 3)), 2, rng)
+
+    def test_rejects_bad_probabilities(self, rng):
+        with pytest.raises(DatasetError):
+            kronecker_digraph(np.array([[2.0]]), 2, rng)
+
+    def test_rejects_zero_iterations(self, rng):
+        with pytest.raises(DatasetError):
+            kronecker_digraph(np.array([[0.5]]), 0, rng)
+
+
+class TestFigure1:
+    def test_pair_shares_all_neighbors(self):
+        g, roles = figure1_graph()
+        a, b = roles["pair"]
+        assert set(g.successors(a)) == set(g.successors(b))
+        assert set(g.predecessors(a)) == set(g.predecessors(b))
+
+    def test_pair_not_interlinked(self):
+        g, roles = figure1_graph()
+        a, b = roles["pair"]
+        assert not g.has_edge(a, b)
+        assert not g.has_edge(b, a)
+
+    def test_sources_point_to_pair(self):
+        g, roles = figure1_graph()
+        for s in roles["sources"]:
+            for p in roles["pair"]:
+                assert g.has_edge(s, p)
+
+
+class TestLinkFarm:
+    def test_spam_nodes_appended(self, rng):
+        from repro.graph.generators import add_link_farm
+
+        base = power_law_digraph(200, rng)
+        g, spam = add_link_farm(base, 20, rng)
+        assert g.n_nodes == 220
+        assert spam.tolist() == list(range(200, 220))
+
+    def test_boost_edges_present(self, rng):
+        from repro.graph.generators import add_link_farm
+
+        base = power_law_digraph(100, rng)
+        g, spam = add_link_farm(base, 10, rng, boosted_targets=[5])
+        for s in spam:
+            assert g.has_edge(int(s), 5)
+
+    def test_farm_densely_interlinked(self, rng):
+        from repro.graph.generators import add_link_farm
+
+        base = power_law_digraph(100, rng)
+        g, spam = add_link_farm(base, 15, rng, p_intra_farm=0.9)
+        block = g.adjacency[spam][:, spam]
+        density = block.nnz / (15 * 14)
+        # Binomial pair sampling merges duplicates, so p=0.9 yields
+        # an effective density around 1 - e^-0.9 ~= 0.59.
+        assert density > 0.5
+
+    def test_camouflage_links(self, rng):
+        from repro.graph.generators import add_link_farm
+
+        base = power_law_digraph(100, rng)
+        g, spam = add_link_farm(
+            base, 10, rng, n_camouflage_links=3, p_intra_farm=0.0
+        )
+        legit = g.adjacency[spam][:, :100]
+        # boost target + camouflage links reach legitimate pages
+        assert legit.nnz >= 10  # at least the boost edges
+
+    def test_names_extended(self, rng):
+        from repro.graph import DirectedGraph
+        from repro.graph.generators import add_link_farm
+
+        base = DirectedGraph.from_edges(
+            [(0, 1)], n_nodes=2, node_names=["a", "b"]
+        )
+        g, _ = add_link_farm(base, 2, rng, boosted_targets=[0])
+        assert g.node_names[-1] == "spam_1"
+
+    def test_rejects_bad_params(self, rng, triangle_digraph):
+        from repro.graph.generators import add_link_farm
+
+        with pytest.raises(DatasetError):
+            add_link_farm(triangle_digraph, 0, rng)
+        with pytest.raises(DatasetError):
+            add_link_farm(triangle_digraph, 2, rng, p_intra_farm=2.0)
+        with pytest.raises(DatasetError):
+            add_link_farm(
+                triangle_digraph, 2, rng, boosted_targets=[99]
+            )
+
+
+class TestCombine:
+    def test_union_of_edges(self, rng, triangle_digraph):
+        from repro.graph import DirectedGraph
+
+        other = DirectedGraph.from_edges([(0, 2)], n_nodes=3)
+        merged = combine(triangle_digraph, other)
+        assert merged.has_edge(0, 2)
+        assert merged.has_edge(0, 1)
+        assert merged.edge_weight(0, 1) == 1.0  # OR, not sum
+
+    def test_rejects_size_mismatch(self, triangle_digraph):
+        from repro.graph import DirectedGraph
+
+        with pytest.raises(DatasetError):
+            combine(triangle_digraph, DirectedGraph.empty(5))
+
+    def test_rejects_empty_args(self):
+        with pytest.raises(DatasetError):
+            combine()

@@ -1,0 +1,172 @@
+"""Unit tests for :mod:`repro.graph.io`."""
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph import DirectedGraph, UndirectedGraph
+from repro.graph.io import (
+    read_edge_list,
+    read_json_graph,
+    read_metis,
+    write_edge_list,
+    write_json_graph,
+    write_metis,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip_directed(self, tmp_path, triangle_digraph):
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle_digraph, path)
+        g = read_edge_list(path)
+        assert g == triangle_digraph
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = DirectedGraph.from_edges([(0, 1, 2.5), (1, 0, 0.5)], n_nodes=2)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_read_undirected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path, directed=False)
+        assert isinstance(g, UndirectedGraph)
+        assert g.has_edge(1, 0)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n")
+        g = read_edge_list(path)
+        assert g.n_edges == 1
+
+    def test_write_without_weights(self, tmp_path):
+        g = DirectedGraph.from_edges([(0, 1, 2.5)], n_nodes=2)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path, write_weights=False)
+        g2 = read_edge_list(path)
+        assert g2.edge_weight(0, 1) == 1.0
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError, match="fields"):
+            read_edge_list(path)
+
+    def test_non_numeric(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_empty_file_without_n_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(GraphFormatError, match="no edges"):
+            read_edge_list(path)
+
+    def test_empty_file_with_n_nodes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("")
+        g = read_edge_list(path, n_nodes=3)
+        assert g.n_nodes == 3
+        assert g.n_edges == 0
+
+
+class TestMetis:
+    def test_roundtrip(self, tmp_path, small_weighted_ugraph):
+        path = tmp_path / "g.metis"
+        write_metis(small_weighted_ugraph, path)
+        g = read_metis(path)
+        assert g.n_nodes == small_weighted_ugraph.n_nodes
+        assert g.n_edges == small_weighted_ugraph.n_edges
+
+    def test_read_unweighted_variant(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 2 0\n2\n1 3\n2\n")
+        g = read_metis(path)
+        assert g.n_edges == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("% a comment\n2 1 0\n2\n1\n")
+        g = read_metis(path)
+        assert g.n_edges == 1
+
+    def test_self_loops_dropped_on_write(self, tmp_path):
+        g = UndirectedGraph.from_edges([(0, 0), (0, 1)], n_nodes=2)
+        path = tmp_path / "g.metis"
+        write_metis(g, path)
+        g2 = read_metis(path)
+        assert g2.n_edges == 1
+
+    def test_small_weights_round_up_to_one(self, tmp_path):
+        g = UndirectedGraph.from_edges([(0, 1, 0.001)], n_nodes=2)
+        path = tmp_path / "g.metis"
+        write_metis(g, path)
+        g2 = read_metis(path)
+        assert g2.edge_weight(0, 1) == 1.0
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("")
+        with pytest.raises(GraphFormatError, match="empty"):
+            read_metis(path)
+
+    def test_header_node_mismatch(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 1 0\n2\n1\n")  # says 3 nodes, has 2 lines
+        with pytest.raises(GraphFormatError, match="nodes"):
+            read_metis(path)
+
+    def test_header_edge_mismatch(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 5 0\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="edges"):
+            read_metis(path)
+
+    def test_neighbor_out_of_range(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1 0\n9\n1\n")
+        with pytest.raises(GraphFormatError, match="range"):
+            read_metis(path)
+
+    def test_odd_fields_with_weights(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("2 1 001\n2 1 7\n1 1\n")
+        with pytest.raises(GraphFormatError, match="odd"):
+            read_metis(path)
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("42\n")
+        with pytest.raises(GraphFormatError, match="header"):
+            read_metis(path)
+
+
+class TestJson:
+    def test_roundtrip_directed_with_names(self, tmp_path):
+        g = DirectedGraph.from_edges(
+            [(0, 1, 2.0)], n_nodes=2, node_names=["a", "b"]
+        )
+        path = tmp_path / "g.json"
+        write_json_graph(g, path)
+        g2 = read_json_graph(path)
+        assert isinstance(g2, DirectedGraph)
+        assert g2 == g
+        assert g2.node_names == ["a", "b"]
+
+    def test_roundtrip_undirected(self, tmp_path, small_weighted_ugraph):
+        path = tmp_path / "g.json"
+        write_json_graph(small_weighted_ugraph, path)
+        g2 = read_json_graph(path)
+        assert isinstance(g2, UndirectedGraph)
+        assert g2 == small_weighted_ugraph
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text('{"directed": true}')
+        with pytest.raises(GraphFormatError, match="malformed"):
+            read_json_graph(path)

@@ -1,0 +1,116 @@
+"""Unit tests for :mod:`repro.graph.stats`."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DirectedGraph
+from repro.graph.stats import (
+    degree_histogram,
+    degree_summary,
+    log_binned_degree_histogram,
+    percent_symmetric_links,
+    power_law_exponent_estimate,
+    undirected_degree_summary,
+)
+
+
+class TestReciprocity:
+    def test_fully_symmetric(self):
+        g = DirectedGraph.from_edges([(0, 1), (1, 0)], n_nodes=2)
+        assert percent_symmetric_links(g) == 100.0
+
+    def test_fully_asymmetric(self, triangle_digraph):
+        assert percent_symmetric_links(triangle_digraph) == 0.0
+
+    def test_half_symmetric(self):
+        g = DirectedGraph.from_edges(
+            [(0, 1), (1, 0), (1, 2), (2, 3)], n_nodes=4
+        )
+        assert percent_symmetric_links(g) == 50.0
+
+    def test_empty_graph(self):
+        assert percent_symmetric_links(DirectedGraph.empty(3)) == 0.0
+
+    def test_self_loop_counts_symmetric(self):
+        g = DirectedGraph.from_edges([(0, 0)], n_nodes=1)
+        assert percent_symmetric_links(g) == 100.0
+
+
+class TestHistograms:
+    def test_degree_histogram_counts(self):
+        values, counts = degree_histogram(np.array([1, 1, 2, 5]))
+        assert values.tolist() == [1, 2, 5]
+        assert counts.tolist() == [2, 1, 1]
+
+    def test_degree_histogram_max_degree_filter(self):
+        values, counts = degree_histogram(
+            np.array([1, 2, 100]), max_degree=10
+        )
+        assert 100 not in values
+
+    def test_degree_histogram_empty(self):
+        values, counts = degree_histogram(np.array([]))
+        assert values.size == 0
+
+    def test_log_binned_total_preserved(self):
+        deg = np.array([1, 2, 3, 10, 100, 1000])
+        centers, counts = log_binned_degree_histogram(deg, n_bins=5)
+        assert counts.sum() == 6
+
+    def test_log_binned_excludes_zeros(self):
+        centers, counts = log_binned_degree_histogram(
+            np.array([0, 0, 5]), n_bins=3
+        )
+        assert counts.sum() == 1
+
+    def test_log_binned_single_value(self):
+        centers, counts = log_binned_degree_histogram(np.array([7.0, 7.0]))
+        assert centers.tolist() == [7.0]
+        assert counts.tolist() == [2]
+
+    def test_log_binned_all_zero(self):
+        centers, counts = log_binned_degree_histogram(np.zeros(5))
+        assert centers.size == 0
+
+
+class TestDegreeSummary:
+    def test_basic_stats(self):
+        s = degree_summary(np.array([0.0, 10.0, 100.0, 300.0]))
+        assert s.n_nodes == 4
+        assert s.n_isolated == 1
+        assert s.max == 300.0
+        assert s.frac_in_medium_band == 0.25  # only 100 in [50, 200]
+        assert s.frac_hubs == 0.25  # only 300 above 200
+
+    def test_empty(self):
+        s = degree_summary(np.array([]))
+        assert s.n_nodes == 0
+        assert s.frac_hubs == 0.0
+
+    def test_custom_band(self):
+        s = degree_summary(np.array([5.0, 15.0]), band=(1.0, 10.0))
+        assert s.frac_in_medium_band == 0.5
+        assert s.frac_hubs == 0.5
+
+    def test_undirected_graph_wrapper(self, small_weighted_ugraph):
+        s = undirected_degree_summary(
+            small_weighted_ugraph, band=(2.0, 3.0)
+        )
+        assert s.n_nodes == 6
+        assert s.n_isolated == 0
+
+
+class TestPowerLawEstimate:
+    def test_recovers_exponent(self, rng):
+        # Sample from a known continuous Pareto with tail index 2.5.
+        u = rng.random(100_000)
+        degrees = (1.0 - u) ** (-1.0 / 1.5)  # gamma = 2.5
+        estimate = power_law_exponent_estimate(degrees, d_min=1.0)
+        assert estimate == pytest.approx(2.5, abs=0.05)
+
+    def test_too_few_samples(self):
+        assert np.isnan(power_law_exponent_estimate(np.array([3.0])))
+
+    def test_degenerate_all_at_dmin(self):
+        est = power_law_exponent_estimate(np.array([1.0, 1.0, 1.0]))
+        assert est == float("inf")

@@ -1,0 +1,141 @@
+"""Unit tests for :mod:`repro.graph.ugraph`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import UndirectedGraph
+
+
+class TestConstruction:
+    def test_from_edges_symmetric_storage(self):
+        g = UndirectedGraph.from_edges([(0, 1)], n_nodes=2)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.n_edges == 1
+
+    def test_self_loop_counts_once(self):
+        g = UndirectedGraph.from_edges([(0, 0), (0, 1)], n_nodes=2)
+        assert g.n_edges == 2
+
+    def test_rejects_asymmetric_matrix(self):
+        with pytest.raises(GraphError, match="symmetric"):
+            UndirectedGraph(np.array([[0.0, 1.0], [0.0, 0.0]]))
+
+    def test_accepts_tiny_numerical_asymmetry(self):
+        m = np.array([[0.0, 1.0], [1.0 + 1e-12, 0.0]])
+        g = UndirectedGraph(m)
+        # Cleaned to exact symmetry.
+        assert g.edge_weight(0, 1) == g.edge_weight(1, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            UndirectedGraph(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphError, match="square"):
+            UndirectedGraph(np.zeros((2, 3)))
+
+    def test_empty(self):
+        g = UndirectedGraph.empty(3)
+        assert g.n_nodes == 3
+        assert g.n_edges == 0
+
+    def test_from_edges_needs_n_nodes_when_empty(self):
+        with pytest.raises(GraphError, match="n_nodes"):
+            UndirectedGraph.from_edges([])
+
+    def test_bad_edge_arity(self):
+        with pytest.raises(GraphError, match="2 or 3"):
+            UndirectedGraph.from_edges([(0,)], n_nodes=1)
+
+    def test_node_names_mismatch(self):
+        with pytest.raises(GraphError, match="names"):
+            UndirectedGraph(np.zeros((2, 2)), node_names=["x"])
+
+
+class TestProperties:
+    def test_degrees_weighted(self, small_weighted_ugraph):
+        deg = small_weighted_ugraph.degrees()
+        assert deg[0] == pytest.approx(4.0)
+        assert deg[2] == pytest.approx(4.1)
+
+    def test_degrees_unweighted(self, small_weighted_ugraph):
+        deg = small_weighted_ugraph.degrees(weighted=False)
+        assert deg[2] == 3
+
+    def test_total_weight(self, small_weighted_ugraph):
+        assert small_weighted_ugraph.total_weight() == pytest.approx(12.1)
+
+    def test_total_weight_counts_self_loops_once(self):
+        g = UndirectedGraph.from_edges([(0, 0, 2.0), (0, 1, 1.0)], n_nodes=2)
+        assert g.total_weight() == pytest.approx(3.0)
+
+    def test_neighbors(self, small_weighted_ugraph):
+        assert set(small_weighted_ugraph.neighbors(2)) == {0, 1, 3}
+
+    def test_edges_each_once(self, small_weighted_ugraph):
+        edges = list(small_weighted_ugraph.edges())
+        assert len(edges) == 7
+        assert all(i <= j for i, j, _ in edges)
+
+    def test_edge_weight_missing(self, small_weighted_ugraph):
+        assert small_weighted_ugraph.edge_weight(0, 5) == 0.0
+
+    def test_name_of(self):
+        g = UndirectedGraph.from_edges(
+            [(0, 1)], n_nodes=2, node_names=["x", "y"]
+        )
+        assert g.name_of(1) == "y"
+        assert g.node_names == ["x", "y"]
+
+
+class TestTransformations:
+    def test_without_self_loops(self):
+        g = UndirectedGraph.from_edges([(0, 0), (0, 1)], n_nodes=2)
+        clean = g.without_self_loops()
+        assert clean.n_edges == 1
+        assert not clean.has_edge(0, 0)
+
+    def test_subgraph(self, small_weighted_ugraph):
+        sub = small_weighted_ugraph.subgraph([0, 1, 2])
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 3
+
+    def test_subgraph_out_of_range(self, small_weighted_ugraph):
+        with pytest.raises(GraphError):
+            small_weighted_ugraph.subgraph([99])
+
+    def test_connected_components(self):
+        g = UndirectedGraph.from_edges([(0, 1), (2, 3)], n_nodes=5)
+        n_comp, labels = g.connected_components()
+        assert n_comp == 3
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+
+    def test_isolated_nodes(self):
+        g = UndirectedGraph.from_edges([(0, 1)], n_nodes=4)
+        assert set(g.isolated_nodes()) == {2, 3}
+
+
+class TestDunder:
+    def test_repr(self, small_weighted_ugraph):
+        assert "n_nodes=6" in repr(small_weighted_ugraph)
+
+    def test_equality(self):
+        a = UndirectedGraph.from_edges([(0, 1, 2.0)], n_nodes=2)
+        b = UndirectedGraph.from_edges([(0, 1, 2.0)], n_nodes=2)
+        assert a == b
+
+    def test_inequality(self):
+        a = UndirectedGraph.from_edges([(0, 1, 2.0)], n_nodes=2)
+        b = UndirectedGraph.from_edges([(0, 1, 3.0)], n_nodes=2)
+        assert a != b
+        assert a != UndirectedGraph.empty(3)
+
+    def test_not_hashable(self, small_weighted_ugraph):
+        with pytest.raises(TypeError):
+            hash(small_weighted_ugraph)
+
+    def test_eq_other_type(self, small_weighted_ugraph):
+        assert small_weighted_ugraph != 42

@@ -1,0 +1,219 @@
+"""Integration tests: the paper's qualitative claims end-to-end.
+
+Each test exercises the full symmetrize-then-cluster framework and
+checks a *shape* claim from the paper (who wins, what fails) rather
+than absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.eval.fmeasure import average_f_score, correctly_clustered_mask
+from repro.eval.significance import sign_test
+
+
+class TestFigure1Claim:
+    """§2.1.1 / Figure 1: the shared-neighbour pair clusters together
+    under similarity symmetrizations but cannot under A + Aᵀ."""
+
+    def test_naive_cannot_join_pair(self, figure1):
+        g, roles = figure1
+        u = repro.symmetrize(g, "naive")
+        a, b = roles["pair"]
+        assert not u.has_edge(a, b)
+
+    @pytest.mark.parametrize("name", ["bibliometric", "degree_discounted"])
+    def test_similarity_symmetrizations_join_pair(self, name, figure1):
+        g, roles = figure1
+        u = repro.symmetrize(g, name)
+        a, b = roles["pair"]
+        assert u.has_edge(a, b)
+
+    def test_mlrmcl_on_dd_clusters_pair_together(self, figure1):
+        g, roles = figure1
+        u = repro.symmetrize(g, "degree_discounted")
+        c = repro.MLRMCL(inflation=2.0).cluster(u)
+        a, b = roles["pair"]
+        assert c.labels[a] == c.labels[b]
+
+
+class TestGuzmaniaCaseStudy:
+    """§5.7: list-pattern clusters are recovered from the similarity
+    graph; the species form their own cluster separate from the
+    background."""
+
+    def test_dd_isolates_species_cluster(self):
+        g, roles = repro.guzmania_motif(n_species=12)
+        u = repro.symmetrize(g, "degree_discounted")
+        c = repro.MLRMCL(inflation=2.0).cluster(u)
+        species_labels = set(c.labels[roles["species"]].tolist())
+        assert len(species_labels) == 1
+        # The species cluster does not swallow the background pages.
+        label = species_labels.pop()
+        background_labels = set(c.labels[roles["background"]].tolist())
+        assert label not in background_labels
+
+
+class TestCoraShapeClaims:
+    """Figure 5-shaped claims on the cora-like dataset."""
+
+    @pytest.fixture(scope="class")
+    def scores(self, cora_small):
+        results = {}
+        for name, threshold in [
+            ("naive", 0.0),
+            ("random_walk", 0.0),
+            ("bibliometric", 0.0),
+            ("degree_discounted", 0.05),
+        ]:
+            pipe = repro.SymmetrizeClusterPipeline(
+                name, "metis", threshold=threshold
+            )
+            run = pipe.run(
+                cora_small.graph,
+                n_clusters=12,
+                ground_truth=cora_small.ground_truth,
+            )
+            results[name] = run
+        return results
+
+    def test_all_beat_chance(self, scores):
+        for name, run in scores.items():
+            assert run.average_f > 10.0, name
+
+    def test_degree_discounted_wins(self, scores):
+        dd = scores["degree_discounted"].average_f
+        for other in ("naive", "random_walk"):
+            assert dd > scores[other].average_f - 3.0, other
+
+    def test_similarity_methods_beat_random_walk(self, scores):
+        rw = scores["random_walk"].average_f
+        assert scores["degree_discounted"].average_f > rw
+        assert scores["bibliometric"].average_f > rw
+
+    def test_sign_test_dd_vs_rw_significant(self, scores, cora_small):
+        dd_mask = correctly_clustered_mask(
+            scores["degree_discounted"].clustering,
+            cora_small.ground_truth,
+        )
+        rw_mask = correctly_clustered_mask(
+            scores["random_walk"].clustering, cora_small.ground_truth
+        )
+        result = sign_test(dd_mask, rw_mask)
+        assert result.winner == "a"
+        assert result.p_value < 0.01
+
+
+class TestBestWCutComparison:
+    """Figure 6-shaped claims: dd + any multilevel clusterer beats the
+    directed spectral baseline, and is faster."""
+
+    def test_dd_metis_beats_bestwcut(self, cora_small):
+        import time
+
+        pipe = repro.SymmetrizeClusterPipeline(
+            "degree_discounted", "metis", threshold=0.05
+        )
+        dd_run = pipe.run(
+            cora_small.graph,
+            n_clusters=12,
+            ground_truth=cora_small.ground_truth,
+        )
+        t0 = time.perf_counter()
+        wcut_clustering = repro.best_wcut().cluster(cora_small.graph, 12)
+        wcut_seconds = time.perf_counter() - t0
+        wcut_f = average_f_score(wcut_clustering, cora_small.ground_truth)
+        assert dd_run.average_f > wcut_f - 3.0
+
+
+class TestWikiShapeClaims:
+    """§5.3-shaped claims on the wikipedia-like dataset."""
+
+    def test_bibliometric_pruning_pathology(self, wiki_small):
+        """At a matched edge budget, pruned Bibliometric leaves far
+        more singleton nodes than Degree-discounted (§5.3)."""
+        from repro.symmetrize.pruning import (
+            choose_threshold_for_degree,
+            prune_graph,
+            singleton_fraction,
+        )
+
+        dd_full = repro.get_symmetrization("degree_discounted").apply(
+            wiki_small.graph
+        )
+        bib_full = repro.get_symmetrization("bibliometric").apply(
+            wiki_small.graph
+        )
+        thr = choose_threshold_for_degree(dd_full, 20.0)
+        dd = prune_graph(dd_full, thr)
+        lo, hi = 0.0, float(bib_full.adjacency.max())
+        for _ in range(30):
+            mid = (lo + hi) / 2
+            if prune_graph(bib_full, mid).n_edges > dd.n_edges:
+                lo = mid
+            else:
+                hi = mid
+        bib = prune_graph(bib_full, hi)
+        assert singleton_fraction(bib) > singleton_fraction(dd)
+
+    def test_dd_degree_distribution_hubless(self, wiki_small):
+        """Figure 4: degree-discounting eliminates hub nodes —
+        its max degree is far below the bibliometric graph's."""
+        from repro.symmetrize.pruning import (
+            choose_threshold_for_degree,
+            prune_graph,
+        )
+
+        dd_full = repro.get_symmetrization("degree_discounted").apply(
+            wiki_small.graph
+        )
+        thr = choose_threshold_for_degree(dd_full, 20.0)
+        dd = prune_graph(dd_full, thr)
+        naive = repro.symmetrize(wiki_small.graph, "naive")
+        dd_max = dd.degrees(weighted=False).max()
+        naive_max = naive.degrees(weighted=False).max()
+        assert dd_max < naive_max
+
+    def test_top_edges_differ_between_methods(self, wiki_small):
+        """Table 5: Bibliometric's heaviest pairs involve hub nodes;
+        degree-discounted's do not."""
+        from repro.linalg.sparse_utils import top_k_entries
+
+        indeg = wiki_small.graph.in_degrees()
+        hub_cutoff = np.quantile(indeg, 0.999)
+        bib = repro.get_symmetrization("bibliometric").apply(
+            wiki_small.graph
+        )
+        dd = repro.get_symmetrization("degree_discounted").apply(
+            wiki_small.graph
+        )
+        bib_top = top_k_entries(bib.adjacency, 5)
+        dd_top = top_k_entries(dd.adjacency, 5)
+        bib_hub_touch = sum(
+            1
+            for i, j, _ in bib_top
+            if indeg[i] >= hub_cutoff or indeg[j] >= hub_cutoff
+        )
+        dd_hub_touch = sum(
+            1
+            for i, j, _ in dd_top
+            if indeg[i] >= hub_cutoff or indeg[j] >= hub_cutoff
+        )
+        assert bib_hub_touch > dd_hub_touch
+
+
+class TestAlphaBetaClaim:
+    """Table 4's shape: some discounting beats no discounting."""
+
+    def test_half_beats_zero(self, cora_small):
+        points = repro.sweep_alpha_beta(
+            cora_small.graph,
+            configurations=[(0.5, 0.5), (0.0, 0.0)],
+            clusterer="metis",
+            n_clusters=12,
+            ground_truth=cora_small.ground_truth,
+            threshold=0.0,
+        )
+        by_param = {p.parameter: p.average_f for p in points}
+        assert by_param[(0.5, 0.5)] > by_param[(0.0, 0.0)] - 3.0

@@ -1,0 +1,150 @@
+"""Unit tests for :mod:`repro.linalg.allpairs` (§3.6) and the
+``apply_pruned`` fast path of the degree-discounted symmetrization."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SymmetrizationError
+from repro.graph.generators import power_law_digraph
+from repro.linalg.allpairs import thresholded_gram_matrix
+from repro.linalg.sparse_utils import prune_matrix
+from repro.symmetrize import DegreeDiscountedSymmetrization
+
+
+def _dense_reference(rows, threshold):
+    full = (rows @ rows.T).tocsr()
+    lil = full.tolil()
+    lil.setdiag(0.0)
+    return prune_matrix(lil.tocsr(), threshold)
+
+
+class TestThresholdedGram:
+    def test_matches_dense_product(self, rng):
+        rows = sp.random_array(
+            (30, 15), density=0.3, rng=rng, format="csr"
+        )
+        result = thresholded_gram_matrix(rows, 0.2)
+        expected = _dense_reference(rows, 0.2)
+        assert abs(result - expected).max() < 1e-12 if (
+            (result - expected).nnz
+        ) else True
+        assert result.nnz == expected.nnz
+
+    def test_high_threshold_empty(self, rng):
+        rows = sp.random_array(
+            (10, 5), density=0.3, rng=rng, format="csr"
+        )
+        result = thresholded_gram_matrix(rows, 1e6)
+        assert result.nnz == 0
+
+    def test_symmetric_output(self, rng):
+        rows = sp.random_array(
+            (20, 10), density=0.4, rng=rng, format="csr"
+        )
+        result = thresholded_gram_matrix(rows, 0.1)
+        assert abs(result - result.T).nnz == 0
+
+    def test_diagonal_excluded_by_default(self):
+        rows = sp.csr_array(np.eye(3))
+        result = thresholded_gram_matrix(rows, 0.5)
+        assert result.diagonal().sum() == 0.0
+
+    def test_include_diagonal(self):
+        rows = sp.csr_array(np.array([[2.0, 0.0], [0.0, 1.0]]))
+        result = thresholded_gram_matrix(
+            rows, 0.5, include_diagonal=True
+        )
+        assert result[[0], [0]] == 4.0
+        assert result[[1], [1]] == 1.0
+
+    def test_exact_pair_value(self):
+        rows = sp.csr_array(
+            np.array([[1.0, 2.0, 0.0], [3.0, 0.0, 1.0]])
+        )
+        result = thresholded_gram_matrix(rows, 1.0)
+        assert result[[0], [1]] == 3.0
+
+    def test_rejects_zero_threshold(self):
+        with pytest.raises(SymmetrizationError, match="positive"):
+            thresholded_gram_matrix(sp.csr_array((2, 2)), 0.0)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(SymmetrizationError, match="non-negative"):
+            thresholded_gram_matrix(
+                sp.csr_array(np.array([[-1.0]])), 0.5
+            )
+
+    @given(st.integers(0, 1_000_000), st.floats(0.05, 2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_dense(self, seed, threshold):
+        rng = np.random.default_rng(seed)
+        rows = sp.random_array(
+            (15, 8), density=0.4, rng=rng, format="csr"
+        )
+        result = thresholded_gram_matrix(rows, threshold)
+        expected = _dense_reference(rows, threshold)
+        diff = (result - expected).tocsr()
+        diff.eliminate_zeros()
+        assert abs(diff).max() < 1e-9 if diff.nnz else True
+        assert result.nnz == expected.nnz
+
+
+class TestApplyPruned:
+    def test_matches_apply(self, rng):
+        g = power_law_digraph(120, rng)
+        sym = DegreeDiscountedSymmetrization()
+        for threshold in (0.05, 0.15):
+            ref = sym.apply(g, threshold=threshold)
+            fast = sym.apply_pruned(g, threshold=threshold)
+            # Agreement is exact up to float summation order: entries
+            # present in both match to ~1 ULP, and the edge sets may
+            # differ only by pairs whose value ties the threshold.
+            ref_pattern = ref.adjacency.astype(bool)
+            fast_pattern = fast.adjacency.astype(bool)
+            shared = ref_pattern.multiply(fast_pattern)
+            diff = abs(
+                ref.adjacency.multiply(shared)
+                - fast.adjacency.multiply(shared)
+            ).tocsr()
+            assert (diff.max() if diff.nnz else 0.0) < 1e-12
+            disagreement = (ref_pattern != fast_pattern).tocoo()
+            for i, j in zip(disagreement.row, disagreement.col):
+                value = max(
+                    ref.edge_weight(int(i), int(j)),
+                    fast.edge_weight(int(i), int(j)),
+                )
+                assert abs(value - threshold) < 1e-9 * max(
+                    threshold, 1.0
+                ), (i, j, value)
+
+    def test_coupling_only_variant(self, rng):
+        g = power_law_digraph(80, rng)
+        sym = DegreeDiscountedSymmetrization(include_cocitation=False)
+        ref = sym.apply(g, threshold=0.1)
+        fast = sym.apply_pruned(g, threshold=0.1)
+        diff = abs(ref.adjacency - fast.adjacency).tocsr()
+        assert (diff.max() if diff.nnz else 0.0) < 1e-12
+
+    def test_rejects_zero_threshold(self, triangle_digraph):
+        with pytest.raises(SymmetrizationError, match="positive"):
+            DegreeDiscountedSymmetrization().apply_pruned(
+                triangle_digraph, 0.0
+            )
+
+    def test_rejects_log_discount(self, triangle_digraph):
+        with pytest.raises(SymmetrizationError, match="numeric"):
+            DegreeDiscountedSymmetrization(alpha="log").apply_pruned(
+                triangle_digraph, 0.1
+            )
+
+    def test_preserves_node_names(self):
+        from repro.graph import DirectedGraph
+
+        g = DirectedGraph.from_edges(
+            [(0, 2), (1, 2)], n_nodes=3, node_names=["a", "b", "c"]
+        )
+        out = DegreeDiscountedSymmetrization().apply_pruned(g, 0.1)
+        assert out.node_names == ["a", "b", "c"]

@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.linalg.pagerank`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, GraphError
+from repro.graph import DirectedGraph
+from repro.linalg.pagerank import (
+    pagerank,
+    stationary_distribution,
+    transition_matrix,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_stochastic(self, two_fans_digraph):
+        P, dangling = transition_matrix(two_fans_digraph)
+        sums = np.asarray(P.sum(axis=1)).ravel()
+        assert np.allclose(sums[~dangling], 1.0)
+
+    def test_dangling_rows_zero(self, two_fans_digraph):
+        P, dangling = transition_matrix(two_fans_digraph)
+        assert dangling[5]  # node 5 has no out-edges
+        assert P[[5], :].sum() == 0.0
+
+    def test_weighted_normalization(self):
+        g = DirectedGraph.from_edges([(0, 1, 3.0), (0, 2, 1.0)], n_nodes=3)
+        P, _ = transition_matrix(g)
+        assert P[[0], [1]] == pytest.approx(0.75)
+
+    def test_rejects_non_square(self):
+        import scipy.sparse as sp
+
+        with pytest.raises(GraphError):
+            transition_matrix(sp.csr_array((2, 3)))
+
+
+class TestPagerank:
+    def test_sums_to_one(self, triangle_digraph):
+        pi = pagerank(triangle_digraph)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_symmetric_cycle_uniform(self, triangle_digraph):
+        pi = pagerank(triangle_digraph)
+        assert np.allclose(pi, 1.0 / 3.0)
+
+    def test_is_stationary(self, rng):
+        from repro.graph.generators import power_law_digraph
+
+        g = power_law_digraph(200, rng)
+        pi = pagerank(g, teleport=0.05, tol=1e-14)
+        P, dangling = transition_matrix(g)
+        n = g.n_nodes
+        dangling_mass = pi[dangling].sum()
+        next_pi = 0.95 * (P.T @ pi + dangling_mass / n) + 0.05 / n
+        assert np.allclose(next_pi / next_pi.sum(), pi, atol=1e-9)
+
+    def test_popular_node_has_higher_rank(self):
+        # Everyone points to node 0.
+        g = DirectedGraph.from_edges(
+            [(1, 0), (2, 0), (3, 0), (1, 2)], n_nodes=4
+        )
+        pi = pagerank(g)
+        assert pi[0] == pi.max()
+
+    def test_dangling_nodes_handled(self):
+        g = DirectedGraph.from_edges([(0, 1)], n_nodes=2)
+        pi = pagerank(g)  # node 1 dangles
+        assert pi.sum() == pytest.approx(1.0)
+        assert pi[1] > pi[0]
+
+    def test_empty_graph(self):
+        pi = pagerank(DirectedGraph.empty(0))
+        assert pi.size == 0
+
+    def test_edgeless_graph_uniform(self):
+        pi = pagerank(DirectedGraph.empty(4))
+        assert np.allclose(pi, 0.25)
+
+    def test_rejects_bad_teleport(self, triangle_digraph):
+        with pytest.raises(GraphError, match="teleport"):
+            pagerank(triangle_digraph, teleport=0.0)
+        with pytest.raises(GraphError, match="teleport"):
+            pagerank(triangle_digraph, teleport=1.5)
+
+    def test_convergence_error(self, rng):
+        from repro.graph.generators import power_law_digraph
+
+        g = power_law_digraph(100, rng)
+        with pytest.raises(ConvergenceError, match="converge"):
+            pagerank(g, tol=1e-16, max_iter=2)
+
+    def test_higher_teleport_flattens(self):
+        g = DirectedGraph.from_edges(
+            [(1, 0), (2, 0), (3, 0)], n_nodes=4
+        )
+        concentrated = pagerank(g, teleport=0.01)
+        flat = pagerank(g, teleport=0.9)
+        assert concentrated[0] > flat[0]
+
+    def test_stationary_distribution_alias(self, triangle_digraph):
+        assert np.allclose(
+            stationary_distribution(triangle_digraph),
+            pagerank(triangle_digraph),
+        )

@@ -1,0 +1,155 @@
+"""Unit tests for :mod:`repro.linalg.sparse_utils`."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError, SymmetrizationError
+from repro.linalg.sparse_utils import (
+    degree_power,
+    degree_scale,
+    prune_matrix,
+    row_normalize,
+    sample_rows_similarity,
+    top_k_entries,
+)
+
+
+def _mat(dense):
+    return sp.csr_array(np.asarray(dense, dtype=float))
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self):
+        m = row_normalize(_mat([[1, 3], [2, 2]]))
+        assert np.allclose(np.asarray(m.sum(axis=1)).ravel(), 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        m = row_normalize(_mat([[0, 0], [1, 1]]))
+        assert m[[0], :].sum() == 0.0
+
+
+class TestDegreePower:
+    def test_positive_degrees(self):
+        out = degree_power(np.array([4.0, 9.0]), 0.5)
+        assert np.allclose(out, [0.5, 1.0 / 3.0])
+
+    def test_zero_degree_maps_to_zero(self):
+        out = degree_power(np.array([0.0, 1.0]), 0.5)
+        assert out[0] == 0.0
+
+    def test_exponent_zero_is_indicator(self):
+        out = degree_power(np.array([0.0, 5.0]), 0.0)
+        assert out.tolist() == [0.0, 1.0]
+
+    def test_rejects_negative_degrees(self):
+        with pytest.raises(SymmetrizationError):
+            degree_power(np.array([-1.0]), 0.5)
+
+
+class TestDegreeScale:
+    def test_row_and_col_scaling(self):
+        m = degree_scale(
+            _mat([[1, 2], [3, 4]]),
+            row_factors=np.array([2.0, 1.0]),
+            col_factors=np.array([1.0, 10.0]),
+        )
+        dense = m.todense()
+        assert dense[0, 0] == 2.0
+        assert dense[0, 1] == 40.0
+
+    def test_none_factors_identity(self):
+        m = _mat([[1, 2], [3, 4]])
+        assert np.allclose(degree_scale(m).todense(), m.todense())
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(GraphError):
+            degree_scale(_mat([[1]]), row_factors=np.ones(3))
+        with pytest.raises(GraphError):
+            degree_scale(_mat([[1]]), col_factors=np.ones(3))
+
+
+class TestPruneMatrix:
+    def test_drops_below_threshold(self):
+        m = prune_matrix(_mat([[0.5, 2.0], [3.0, 0.1]]), 1.0)
+        assert m.nnz == 2
+        assert m.todense()[0, 1] == 2.0
+
+    def test_threshold_is_inclusive(self):
+        m = prune_matrix(_mat([[1.0]]), 1.0)
+        assert m.nnz == 1
+
+    def test_zero_threshold_keeps_everything(self):
+        m = prune_matrix(_mat([[0.001, 5.0]]), 0.0)
+        assert m.nnz == 2
+
+    def test_keep_diagonal(self):
+        m = prune_matrix(
+            _mat([[0.1, 5.0], [5.0, 0.1]]), 1.0, keep_diagonal=True
+        )
+        assert m.todense()[0, 0] == 0.1
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(SymmetrizationError):
+            prune_matrix(_mat([[1.0]]), -1.0)
+
+    def test_monotone_in_threshold(self, rng):
+        m = sp.random_array((50, 50), density=0.2, rng=rng, format="csr")
+        prev = m.nnz
+        for threshold in [0.2, 0.5, 0.8]:
+            pruned = prune_matrix(m, threshold)
+            assert pruned.nnz <= prev
+            prev = pruned.nnz
+
+
+class TestTopK:
+    def test_descending_order(self):
+        m = _mat([[0, 3, 1], [3, 0, 7], [1, 7, 0]])
+        top = top_k_entries(m, 2)
+        assert top[0][2] == 7.0
+        assert top[1][2] == 3.0
+
+    def test_upper_triangle_dedup(self):
+        m = _mat([[0, 5], [5, 0]])
+        top = top_k_entries(m, 10)
+        assert len(top) == 1
+        assert top[0][:2] == (0, 1)
+
+    def test_diagonal_excluded(self):
+        m = _mat([[9, 1], [1, 9]])
+        top = top_k_entries(m, 10)
+        assert all(i != j for i, j, _ in top)
+
+    def test_include_diagonal_and_lower(self):
+        m = _mat([[9, 1], [1, 9]])
+        top = top_k_entries(
+            m, 10, upper_triangle_only=False, exclude_diagonal=False
+        )
+        assert len(top) == 4
+
+    def test_k_zero(self):
+        assert top_k_entries(_mat([[0, 1], [1, 0]]), 0) == []
+
+    def test_k_larger_than_entries(self):
+        m = _mat([[0, 2], [2, 0]])
+        assert len(top_k_entries(m, 100)) == 1
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(GraphError):
+            top_k_entries(_mat([[1]]), -1)
+
+
+class TestSampleRows:
+    def test_returns_nonzeros_of_sampled_rows(self, rng):
+        m = _mat([[1, 0], [0, 2]])
+        values = sample_rows_similarity(m, 2, rng)
+        assert sorted(values.tolist()) == [1.0, 2.0]
+
+    def test_sample_size_capped(self, rng):
+        m = _mat([[1, 1], [1, 1]])
+        values = sample_rows_similarity(m, 100, rng)
+        assert values.size == 4
+
+    def test_empty_matrix(self, rng):
+        values = sample_rows_similarity(sp.csr_array((0, 0)), 5, rng)
+        assert values.size == 0

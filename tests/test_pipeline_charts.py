@@ -1,0 +1,86 @@
+"""Unit tests for :mod:`repro.pipeline.charts`."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.pipeline.charts import ascii_chart, render_series_chart
+from repro.pipeline.report import format_series
+
+
+class TestAsciiChart:
+    def test_contains_marks_and_legend(self):
+        out = ascii_chart(
+            {"a": ([1, 2, 3], [1, 4, 9]), "b": ([1, 2, 3], [9, 4, 1])}
+        )
+        assert "o" in out
+        assert "x" in out
+        assert "legend: o=a  x=b" in out
+
+    def test_extremes_labeled(self):
+        out = ascii_chart({"s": ([0, 10], [2.0, 8.0])})
+        assert "8" in out
+        assert "2" in out
+        assert "10" in out
+
+    def test_axis_labels(self):
+        out = ascii_chart(
+            {"s": ([0, 1], [0, 1])}, x_label="clusters",
+            y_label="seconds",
+        )
+        assert "clusters" in out
+        assert "seconds" in out
+
+    def test_single_point(self):
+        out = ascii_chart({"s": ([5], [3])})
+        assert "o" in out
+
+    def test_constant_series(self):
+        out = ascii_chart({"s": ([1, 2, 3], [7, 7, 7])})
+        plot_area = "\n".join(
+            line for line in out.splitlines() if "|" in line
+        )
+        assert plot_area.count("o") == 3
+
+    def test_dimensions(self):
+        out = ascii_chart(
+            {"s": ([0, 1], [0, 1])}, width=30, height=8
+        )
+        plot_lines = [
+            line for line in out.splitlines() if "|" in line
+        ]
+        assert len(plot_lines) == 8
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            ascii_chart({})
+
+    def test_rejects_tiny_area(self):
+        with pytest.raises(ReproError):
+            ascii_chart({"s": ([0], [0])}, width=2, height=2)
+
+    def test_rejects_no_points(self):
+        with pytest.raises(ReproError):
+            ascii_chart({"s": ([], [])})
+
+
+class TestRenderSeriesChart:
+    def test_roundtrip_with_format_series(self):
+        text = "\n".join(
+            [
+                format_series("dd", [10, 20], [1.0, 2.0], "k", "F"),
+                format_series("naive", [10, 20], [2.0, 1.0], "k", "F"),
+            ]
+        )
+        chart = render_series_chart(text)
+        assert chart is not None
+        assert "o=dd" in chart
+        assert "x=naive" in chart
+        assert "k" in chart
+
+    def test_non_series_text_returns_none(self):
+        assert render_series_chart("just a table\nwith rows") is None
+
+    def test_malformed_points_skipped(self):
+        text = "s [k -> F]: 1:2, bogus, 3:4"
+        chart = render_series_chart(text)
+        assert chart is not None

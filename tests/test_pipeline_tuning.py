@@ -1,0 +1,77 @@
+"""Unit tests for :mod:`repro.pipeline.tuning`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.pipeline.tuning import TuningPoint, tune_threshold
+
+
+class TestTuneThreshold:
+    def test_supervised_returns_best_point(self, cora_small):
+        best, points = tune_threshold(
+            cora_small.graph,
+            "degree_discounted",
+            "metis",
+            n_clusters=12,
+            ground_truth=cora_small.ground_truth,
+            candidate_degrees=[10.0, 30.0],
+        )
+        assert len(points) == 2
+        winner = max(points, key=lambda p: p.score)
+        assert best == winner.threshold
+        assert all(isinstance(p, TuningPoint) for p in points)
+        assert all(p.seconds > 0 for p in points)
+
+    def test_unsupervised_uses_ncut_proxy(self, cora_small):
+        best, points = tune_threshold(
+            cora_small.graph,
+            "degree_discounted",
+            "metis",
+            n_clusters=12,
+            candidate_degrees=[15.0, 40.0],
+        )
+        # Unsupervised scores are negative Ncut values.
+        assert all(p.score <= 0 for p in points)
+        assert best in {p.threshold for p in points}
+
+    def test_edges_track_target_degree(self, cora_small):
+        _, points = tune_threshold(
+            cora_small.graph,
+            "degree_discounted",
+            "metis",
+            n_clusters=8,
+            candidate_degrees=[8.0, 50.0],
+        )
+        by_target = {p.target_degree: p.n_edges for p in points}
+        assert by_target[8.0] <= by_target[50.0]
+
+    def test_rejects_empty_candidates(self, cora_small):
+        with pytest.raises(ReproError, match="non-empty"):
+            tune_threshold(
+                cora_small.graph, candidate_degrees=[]
+            )
+
+    def test_instances_accepted(self, cora_small):
+        from repro.cluster import MetisClusterer
+        from repro.symmetrize import DegreeDiscountedSymmetrization
+
+        best, points = tune_threshold(
+            cora_small.graph,
+            DegreeDiscountedSymmetrization(),
+            MetisClusterer(),
+            n_clusters=6,
+            candidate_degrees=[20.0],
+        )
+        assert len(points) == 1
+
+    def test_deterministic(self, cora_small):
+        kwargs = dict(
+            symmetrization="degree_discounted",
+            clusterer="metis",
+            n_clusters=8,
+            candidate_degrees=[12.0, 25.0],
+        )
+        b1, _ = tune_threshold(cora_small.graph, **kwargs)
+        b2, _ = tune_threshold(cora_small.graph, **kwargs)
+        assert b1 == b2

@@ -1,0 +1,56 @@
+"""Smoke tests of the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_exception_hierarchy(self):
+        for exc in (
+            repro.GraphError,
+            repro.GraphFormatError,
+            repro.SymmetrizationError,
+            repro.ClusteringError,
+            repro.ConvergenceError,
+            repro.EvaluationError,
+            repro.DatasetError,
+        ):
+            assert issubclass(exc, repro.ReproError)
+        assert issubclass(repro.GraphFormatError, repro.GraphError)
+        assert issubclass(repro.ConvergenceError, repro.ClusteringError)
+
+    def test_quickstart_docstring_flow(self):
+        """The flow shown in the package docstring works verbatim."""
+        ds = repro.make_cora_like(n_nodes=600, n_categories=12, seed=0)
+        undirected = repro.symmetrize(ds.graph, "degree_discounted")
+        clustering = repro.get_clusterer("metis").cluster(undirected, 12)
+        score = repro.average_f_score(clustering, ds.ground_truth)
+        assert 0.0 <= score <= 100.0
+
+    def test_registries_consistent(self):
+        assert set(repro.available_symmetrizations()) >= {
+            "naive",
+            "random_walk",
+            "bibliometric",
+            "degree_discounted",
+        }
+        assert set(repro.available_clusterers()) >= {
+            "mlrmcl",
+            "metis",
+            "graclus",
+            "spectral",
+        }
+
+    def test_errors_catchable_at_base(self):
+        with pytest.raises(repro.ReproError):
+            repro.get_symmetrization("bogus")
+        with pytest.raises(repro.ReproError):
+            repro.get_clusterer("bogus")

@@ -1,0 +1,133 @@
+"""Unit tests for the symmetrization base/registry/façade."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SymmetrizationError
+from repro.graph import DirectedGraph, UndirectedGraph
+from repro.symmetrize import (
+    BibliometricSymmetrization,
+    DegreeDiscountedSymmetrization,
+    NaiveSymmetrization,
+    RandomWalkSymmetrization,
+    Symmetrization,
+    available_symmetrizations,
+    get_symmetrization,
+    symmetrize,
+)
+
+
+class TestRegistry:
+    def test_all_four_registered(self):
+        names = available_symmetrizations()
+        for expected in (
+            "naive",
+            "random_walk",
+            "bibliometric",
+            "degree_discounted",
+        ):
+            assert expected in names
+
+    def test_get_by_name(self):
+        assert isinstance(get_symmetrization("naive"), NaiveSymmetrization)
+        assert isinstance(
+            get_symmetrization("bibliometric"), BibliometricSymmetrization
+        )
+
+    def test_aliases(self):
+        assert isinstance(get_symmetrization("a+at"), NaiveSymmetrization)
+        assert isinstance(
+            get_symmetrization("rw"), RandomWalkSymmetrization
+        )
+        assert isinstance(
+            get_symmetrization("dd"), DegreeDiscountedSymmetrization
+        )
+        assert isinstance(
+            get_symmetrization("bib"), BibliometricSymmetrization
+        )
+
+    def test_case_insensitive(self):
+        assert isinstance(
+            get_symmetrization("NAIVE"), NaiveSymmetrization
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(SymmetrizationError, match="unknown"):
+            get_symmetrization("nope")
+
+    def test_params_forwarded(self):
+        sym = get_symmetrization("degree_discounted", alpha=0.25)
+        assert sym.alpha == 0.25
+
+    def test_names_set_on_classes(self):
+        assert NaiveSymmetrization.name == "naive"
+        assert DegreeDiscountedSymmetrization.name == "degree_discounted"
+
+
+class TestFacade:
+    def test_symmetrize_by_name(self, triangle_digraph):
+        u = symmetrize(triangle_digraph, "naive")
+        assert isinstance(u, UndirectedGraph)
+        assert u.n_edges == 3
+
+    def test_symmetrize_with_instance(self, triangle_digraph):
+        u = symmetrize(triangle_digraph, NaiveSymmetrization())
+        assert u.n_edges == 3
+
+    def test_instance_plus_params_rejected(self, triangle_digraph):
+        with pytest.raises(SymmetrizationError, match="parameters"):
+            symmetrize(triangle_digraph, NaiveSymmetrization(), alpha=1)
+
+    def test_threshold_forwarded(self, two_fans_digraph):
+        dense = symmetrize(two_fans_digraph, "bibliometric")
+        pruned = symmetrize(two_fans_digraph, "bibliometric", threshold=2.0)
+        assert pruned.n_edges < dense.n_edges
+
+    def test_rejects_undirected_input(self, small_weighted_ugraph):
+        with pytest.raises(SymmetrizationError, match="DirectedGraph"):
+            symmetrize(small_weighted_ugraph, "naive")
+
+
+class TestApplyContract:
+    @pytest.mark.parametrize(
+        "name", ["naive", "random_walk", "bibliometric", "degree_discounted"]
+    )
+    def test_output_is_symmetric(self, name, two_fans_digraph):
+        u = symmetrize(two_fans_digraph, name)
+        diff = abs(u.adjacency - u.adjacency.T)
+        assert diff.max() if diff.nnz else 0.0 == 0.0
+
+    @pytest.mark.parametrize(
+        "name", ["naive", "random_walk", "bibliometric", "degree_discounted"]
+    )
+    def test_output_nonnegative(self, name, two_fans_digraph):
+        u = symmetrize(two_fans_digraph, name)
+        if u.adjacency.nnz:
+            assert u.adjacency.data.min() >= 0
+
+    @pytest.mark.parametrize(
+        "name", ["naive", "bibliometric", "degree_discounted"]
+    )
+    def test_no_self_loops_by_default(self, name, two_fans_digraph):
+        u = symmetrize(two_fans_digraph, name)
+        assert u.adjacency.diagonal().sum() == 0.0
+
+    def test_self_loops_kept_on_request(self, two_fans_digraph):
+        sym = BibliometricSymmetrization()
+        u = sym.apply(two_fans_digraph, drop_self_loops=False)
+        assert u.adjacency.diagonal().sum() > 0
+
+    def test_node_names_carried_over(self):
+        g = DirectedGraph.from_edges(
+            [(0, 1)], n_nodes=2, node_names=["x", "y"]
+        )
+        u = symmetrize(g, "naive")
+        assert u.node_names == ["x", "y"]
+
+    def test_callable_shorthand(self, triangle_digraph):
+        sym = NaiveSymmetrization()
+        assert sym(triangle_digraph) == sym.apply(triangle_digraph)
+
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            Symmetrization()  # type: ignore[abstract]

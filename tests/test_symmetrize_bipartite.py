@@ -1,0 +1,126 @@
+"""Unit tests for :mod:`repro.symmetrize.bipartite` (§6 future work)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import SymmetrizationError
+from repro.symmetrize.bipartite import (
+    BipartiteDegreeDiscounted,
+    bipartite_symmetrize,
+)
+
+
+@pytest.fixture
+def block_biadjacency():
+    """Two left groups each linking to their own right group."""
+    B = np.zeros((6, 4))
+    B[:3, :2] = 1.0  # left 0-2 -> right 0-1
+    B[3:, 2:] = 1.0  # left 3-5 -> right 2-3
+    return B
+
+
+class TestLeftSimilarity:
+    def test_within_group_connected(self, block_biadjacency):
+        left = BipartiteDegreeDiscounted().left_similarity(
+            block_biadjacency
+        )
+        assert left.n_nodes == 6
+        assert left.has_edge(0, 1)
+        assert left.has_edge(3, 4)
+
+    def test_across_groups_disconnected(self, block_biadjacency):
+        left = BipartiteDegreeDiscounted().left_similarity(
+            block_biadjacency
+        )
+        assert not left.has_edge(0, 3)
+
+    def test_hand_computed_weight(self):
+        # Left 0 and 1 share the single right node 0; all degrees:
+        # left out-degree 1, right in-degree 2. Weight =
+        # 1/(1^.5 * 1^.5 * 2^.5) ... per Eq. 6 analogue = 1/sqrt(2).
+        B = np.array([[1.0], [1.0]])
+        left = BipartiteDegreeDiscounted().left_similarity(B)
+        assert left.edge_weight(0, 1) == pytest.approx(1 / np.sqrt(2))
+
+    def test_hub_right_node_discounted(self):
+        # A right hub linked by everyone adds little similarity.
+        specific = np.array([[1.0, 0.0], [1.0, 0.0]])
+        hubby = np.ones((6, 1))
+        w_specific = BipartiteDegreeDiscounted().left_similarity(
+            specific
+        ).edge_weight(0, 1)
+        w_hub = BipartiteDegreeDiscounted().left_similarity(
+            hubby
+        ).edge_weight(0, 1)
+        assert w_hub < w_specific
+
+    def test_matches_dense_reference(self, rng):
+        B = sp.random_array((8, 5), density=0.5, rng=rng, format="csr")
+        sym = BipartiteDegreeDiscounted(alpha=0.5, beta=0.5)
+        left = sym.left_similarity(B, drop_self_loops=False)
+        Bd = B.todense()
+        dl = Bd.sum(axis=1)
+        dr = Bd.sum(axis=0)
+        Dl = np.diag(np.where(dl > 0, 1 / np.sqrt(dl), 0.0))
+        Dr = np.diag(np.where(dr > 0, 1 / np.sqrt(dr), 0.0))
+        expected = Dl @ Bd @ Dr @ Bd.T @ Dl
+        assert np.allclose(left.adjacency.todense(), expected)
+
+
+class TestRightSimilarity:
+    def test_within_group_connected(self, block_biadjacency):
+        right = BipartiteDegreeDiscounted().right_similarity(
+            block_biadjacency
+        )
+        assert right.n_nodes == 4
+        assert right.has_edge(0, 1)
+        assert right.has_edge(2, 3)
+        assert not right.has_edge(0, 2)
+
+
+class TestFacade:
+    def test_left_default(self, block_biadjacency):
+        u = bipartite_symmetrize(block_biadjacency)
+        assert u.n_nodes == 6
+
+    def test_right_side(self, block_biadjacency):
+        u = bipartite_symmetrize(block_biadjacency, side="right")
+        assert u.n_nodes == 4
+
+    def test_threshold(self, block_biadjacency):
+        dense = bipartite_symmetrize(block_biadjacency)
+        pruned = bipartite_symmetrize(
+            block_biadjacency, threshold=10.0
+        )
+        assert pruned.n_edges < dense.n_edges
+
+    def test_rejects_bad_side(self, block_biadjacency):
+        with pytest.raises(SymmetrizationError):
+            bipartite_symmetrize(block_biadjacency, side="top")
+
+    def test_rejects_bad_exponents(self):
+        with pytest.raises(SymmetrizationError):
+            BipartiteDegreeDiscounted(alpha=-1)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(SymmetrizationError):
+            bipartite_symmetrize(np.array([[-1.0]]))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(SymmetrizationError):
+            bipartite_symmetrize(np.zeros(3))
+
+    def test_clusterable_projection(self):
+        """End to end: cluster the left projection of a planted
+        bipartite graph."""
+        import repro
+
+        rng = np.random.default_rng(0)
+        B = np.zeros((40, 20))
+        B[:20, :10] = (rng.random((20, 10)) < 0.5).astype(float)
+        B[20:, 10:] = (rng.random((20, 10)) < 0.5).astype(float)
+        left = bipartite_symmetrize(B)
+        clustering = repro.MetisClusterer().cluster(left, 2)
+        assert len(set(clustering.labels[:20].tolist())) == 1
+        assert clustering.labels[0] != clustering.labels[-1]

@@ -1,0 +1,334 @@
+"""Unit tests for the four concrete symmetrizations (§3.1–3.4).
+
+These check the defining algebraic identities of each method against
+hand-computed values and against dense numpy reference computations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SymmetrizationError
+from repro.graph import DirectedGraph
+from repro.linalg.pagerank import pagerank, transition_matrix
+from repro.symmetrize import (
+    BibliometricSymmetrization,
+    DegreeDiscountedSymmetrization,
+    NaiveSymmetrization,
+    RandomWalkSymmetrization,
+    symmetrize,
+)
+
+
+
+def _inv_pow_diag(degrees, exponent):
+    """Dense reference for D^-exponent with 0 -> 0 (no warnings)."""
+    out = np.zeros_like(degrees, dtype=float)
+    nz = degrees > 0
+    out[nz] = degrees[nz] ** -exponent
+    return np.diag(out)
+
+
+def _inv_log_diag(degrees):
+    """Dense reference for the 'log' discount with 0 -> 0."""
+    out = np.zeros_like(degrees, dtype=float)
+    nz = degrees > 0
+    out[nz] = 1.0 / np.log1p(degrees[nz])
+    return np.diag(out)
+
+
+class TestNaive:
+    def test_equals_a_plus_at(self, two_fans_digraph):
+        A = two_fans_digraph.adjacency.todense()
+        U = NaiveSymmetrization().compute_matrix(two_fans_digraph).todense()
+        assert np.allclose(U, A + A.T)
+
+    def test_bidirectional_weights_sum(self):
+        g = DirectedGraph.from_edges([(0, 1, 2.0), (1, 0, 3.0)], n_nodes=2)
+        u = symmetrize(g, "naive")
+        assert u.edge_weight(0, 1) == 5.0
+
+    def test_same_edge_set_as_input(self, two_fans_digraph):
+        u = symmetrize(two_fans_digraph, "naive")
+        for i, j, _ in two_fans_digraph.edges():
+            assert u.has_edge(i, j)
+
+    def test_figure1_pair_disconnected(self, figure1):
+        g, roles = figure1
+        u = symmetrize(g, "naive")
+        a, b = roles["pair"]
+        assert not u.has_edge(a, b)
+
+
+class TestRandomWalk:
+    def test_matches_dense_formula(self, two_fans_digraph):
+        sym = RandomWalkSymmetrization(teleport=0.05, scale=1.0)
+        U = sym.compute_matrix(two_fans_digraph).todense()
+        P, _ = transition_matrix(two_fans_digraph)
+        pi = pagerank(two_fans_digraph, teleport=0.05)
+        Pi = np.diag(pi)
+        Pd = P.todense()
+        expected = (Pi @ Pd + Pd.T @ Pi) / 2.0
+        assert np.allclose(U, expected)
+
+    def test_same_edge_set_as_naive(self, two_fans_digraph):
+        u_rw = symmetrize(two_fans_digraph, "random_walk")
+        u_naive = symmetrize(two_fans_digraph, "naive")
+        rw_edges = {(i, j) for i, j, _ in u_rw.edges()}
+        naive_edges = {(i, j) for i, j, _ in u_naive.edges()}
+        assert rw_edges == naive_edges
+
+    def test_scale_n_default(self, triangle_digraph):
+        unscaled = RandomWalkSymmetrization(scale=1.0).compute_matrix(
+            triangle_digraph
+        )
+        scaled = RandomWalkSymmetrization().compute_matrix(triangle_digraph)
+        assert np.allclose(
+            scaled.todense(), unscaled.todense() * triangle_digraph.n_nodes
+        )
+
+    def test_gleich_ncut_equivalence(self, rng):
+        """Gleich's theorem: undirected Ncut on the RW-symmetrized
+        graph equals directed Ncut on the original, for any subset
+        (§3.2). Holds exactly when pi is the stationary distribution
+        of the same teleporting walk used in both computations — we
+        verify with a tiny teleport and matched pi."""
+        from repro.directed.objectives import ncut, ncut_directed
+        from repro.graph.generators import directed_sbm
+        from repro.graph.ugraph import UndirectedGraph
+
+        g, _ = directed_sbm([8, 8], p_in=0.6, p_out=0.2, rng=rng)
+        g = g.largest_weakly_connected_component()
+        teleport = 1e-3
+        pi = pagerank(g, teleport=teleport, tol=1e-14)
+        # Build U = (Pi P + P^T Pi)/2 exactly (no teleport smoothing of
+        # P itself, matching ncut_directed's use of the raw P).
+        P, _ = transition_matrix(g)
+        Pi = np.diag(pi)
+        U = UndirectedGraph(
+            (Pi @ P.todense() + P.todense().T @ Pi) / 2.0
+        )
+        subset = np.arange(g.n_nodes // 2)
+        directed_value = ncut_directed(g, subset, pi=pi)
+        undirected_value = ncut(U, subset)
+        # pi is the stationary distribution of the *teleporting* walk,
+        # so the identity holds up to O(teleport) error.
+        assert directed_value == pytest.approx(undirected_value, rel=1e-3)
+
+    def test_rejects_bad_teleport(self):
+        with pytest.raises(SymmetrizationError):
+            RandomWalkSymmetrization(teleport=0.0)
+
+    def test_rejects_bad_scale_string(self):
+        with pytest.raises(SymmetrizationError):
+            RandomWalkSymmetrization(scale="huge")
+
+
+class TestBibliometric:
+    def test_matches_dense_formula_no_selfloops(self, two_fans_digraph):
+        sym = BibliometricSymmetrization(add_self_loops=False)
+        U = sym.compute_matrix(two_fans_digraph).todense()
+        A = two_fans_digraph.adjacency.todense()
+        assert np.allclose(U, A @ A.T + A.T @ A)
+
+    def test_matches_dense_formula_with_selfloops(self, two_fans_digraph):
+        sym = BibliometricSymmetrization(add_self_loops=True)
+        U = sym.compute_matrix(two_fans_digraph).todense()
+        A = two_fans_digraph.adjacency.todense() + np.eye(6)
+        assert np.allclose(U, A @ A.T + A.T @ A)
+
+    def test_counts_common_out_links(self):
+        # 0 and 1 both cite 2 and 3: coupling weight 2.
+        g = DirectedGraph.from_edges(
+            [(0, 2), (0, 3), (1, 2), (1, 3)], n_nodes=4
+        )
+        sym = BibliometricSymmetrization(add_self_loops=False)
+        u = sym.apply(g)
+        assert u.edge_weight(0, 1) == 2.0
+
+    def test_counts_common_in_links(self):
+        # 2 and 3 are both cited by 0 and 1: co-citation weight 2.
+        g = DirectedGraph.from_edges(
+            [(0, 2), (0, 3), (1, 2), (1, 3)], n_nodes=4
+        )
+        sym = BibliometricSymmetrization(add_self_loops=False)
+        u = sym.apply(g)
+        assert u.edge_weight(2, 3) == 2.0
+
+    def test_self_loop_trick_preserves_input_edges(self, two_fans_digraph):
+        u = BibliometricSymmetrization(add_self_loops=True).apply(
+            two_fans_digraph
+        )
+        for i, j, _ in two_fans_digraph.edges():
+            assert u.has_edge(i, j), (i, j)
+
+    def test_without_self_loop_trick_input_edges_can_vanish(
+        self, triangle_digraph
+    ):
+        # In a 3-cycle no two nodes share a neighbour, so the pure
+        # bibliometric matrix is empty off-diagonal.
+        u = BibliometricSymmetrization(add_self_loops=False).apply(
+            triangle_digraph
+        )
+        assert u.n_edges == 0
+
+    def test_coupling_only_ablation(self):
+        g = DirectedGraph.from_edges(
+            [(0, 2), (1, 2), (3, 0), (3, 1)], n_nodes=4
+        )
+        coupling = BibliometricSymmetrization(
+            add_self_loops=False, include_cocitation=False
+        ).apply(g)
+        assert coupling.edge_weight(0, 1) == 1.0  # share out-link 2
+
+    def test_cocitation_only_ablation(self):
+        g = DirectedGraph.from_edges(
+            [(0, 2), (1, 2), (3, 0), (3, 1)], n_nodes=4
+        )
+        cocit = BibliometricSymmetrization(
+            add_self_loops=False, include_coupling=False
+        ).apply(g)
+        assert cocit.edge_weight(0, 1) == 1.0  # share in-link 3
+        assert not cocit.has_edge(2, 3)
+
+    def test_rejects_both_parts_disabled(self):
+        with pytest.raises(SymmetrizationError):
+            BibliometricSymmetrization(
+                include_coupling=False, include_cocitation=False
+            )
+
+    def test_figure1_pair_connected(self, figure1):
+        g, roles = figure1
+        u = BibliometricSymmetrization().apply(g)
+        a, b = roles["pair"]
+        # Shares 3 out-links and 3 in-links: weight >= 6.
+        assert u.edge_weight(a, b) >= 6.0
+
+
+class TestDegreeDiscounted:
+    def test_matches_dense_formula(self, two_fans_digraph):
+        sym = DegreeDiscountedSymmetrization(alpha=0.5, beta=0.5)
+        U = sym.compute_matrix(two_fans_digraph).todense()
+        A = two_fans_digraph.adjacency.todense()
+        do = A.sum(axis=1)
+        di = A.sum(axis=0)
+        Do = _inv_pow_diag(do, 0.5)
+        Di = _inv_pow_diag(di, 0.5)
+        expected = Do @ A @ Di @ A.T @ Do + Di @ A.T @ Do @ A @ Di
+        assert np.allclose(U, expected)
+
+    def test_matches_dense_formula_general_alpha_beta(
+        self, two_fans_digraph
+    ):
+        sym = DegreeDiscountedSymmetrization(alpha=0.75, beta=0.25)
+        U = sym.compute_matrix(two_fans_digraph).todense()
+        A = two_fans_digraph.adjacency.todense()
+        do = A.sum(axis=1)
+        di = A.sum(axis=0)
+        Do = _inv_pow_diag(do, 0.75)
+        Di = _inv_pow_diag(di, 0.25)
+        expected = Do @ A @ Di @ A.T @ Do + Di @ A.T @ Do @ A @ Di
+        assert np.allclose(U, expected)
+
+    def test_hand_computed_value(self):
+        # 0 -> 2 <- 1, all degrees 1: B_d(0,1) = 1/(1*1*1) = 1, and
+        # C_d(0,1) = 0, so after averaging the matrix stays 1... but
+        # apply() halves nothing; the weight is exactly 1/2 from each
+        # of AB and BA? No: B_d(0, 1) = 1. C_d contributes 0.
+        g = DirectedGraph.from_edges([(0, 2), (1, 2)], n_nodes=3)
+        u = DegreeDiscountedSymmetrization().apply(g)
+        # Di(2) = 2, so B_d(0,1) = 1/sqrt(2) per Eq. 6.
+        assert u.edge_weight(0, 1) == pytest.approx(1.0 / np.sqrt(2.0))
+
+    def test_hub_discount_reduces_weight(self):
+        """Figure 3(a): shared high-in-degree target contributes less."""
+        # Pair (0,1) shares target 2 (in-degree 2).
+        light = DirectedGraph.from_edges([(0, 2), (1, 2)], n_nodes=3)
+        # Pair (0,1) shares target 2 which many others also cite.
+        heavy = DirectedGraph.from_edges(
+            [(0, 2), (1, 2), (3, 2), (4, 2), (5, 2)], n_nodes=6
+        )
+        w_light = DegreeDiscountedSymmetrization().apply(light).edge_weight(
+            0, 1
+        )
+        w_heavy = DegreeDiscountedSymmetrization().apply(heavy).edge_weight(
+            0, 1
+        )
+        assert w_heavy < w_light
+
+    def test_own_degree_discount(self):
+        """Figure 3(b): a node with many out-links is less similar."""
+        # i=0 and j=1 share target 2; node 1 also points elsewhere.
+        g = DirectedGraph.from_edges(
+            [(0, 2), (1, 2), (1, 3), (1, 4), (1, 5)], n_nodes=6
+        )
+        u = DegreeDiscountedSymmetrization().apply(g)
+        g_light = DirectedGraph.from_edges([(0, 2), (1, 2)], n_nodes=3)
+        u_light = DegreeDiscountedSymmetrization().apply(g_light)
+        assert u.edge_weight(0, 1) < u_light.edge_weight(0, 1)
+
+    def test_alpha_zero_beta_zero_is_undiscounted_pattern(
+        self, two_fans_digraph
+    ):
+        dd = DegreeDiscountedSymmetrization(alpha=0.0, beta=0.0)
+        bib = BibliometricSymmetrization(add_self_loops=False)
+        U_dd = dd.compute_matrix(two_fans_digraph).todense()
+        U_bib = bib.compute_matrix(two_fans_digraph).todense()
+        assert np.allclose(U_dd, U_bib)
+
+    def test_log_discount(self, two_fans_digraph):
+        sym = DegreeDiscountedSymmetrization(alpha="log", beta="log")
+        U = sym.compute_matrix(two_fans_digraph).todense()
+        A = two_fans_digraph.adjacency.todense()
+        do = A.sum(axis=1)
+        di = A.sum(axis=0)
+        Do = _inv_log_diag(do)
+        Di = _inv_log_diag(di)
+        expected = Do @ A @ Di @ A.T @ Do + Di @ A.T @ Do @ A @ Di
+        assert np.allclose(U, expected)
+
+    def test_same_pattern_as_bibliometric(self, rng):
+        """§3.5: A^T A and the degree-discounted matrix share their
+        non-zero structure (values differ)."""
+        from repro.graph.generators import power_law_digraph
+
+        g = power_law_digraph(100, rng)
+        bib = BibliometricSymmetrization(add_self_loops=False)
+        dd = DegreeDiscountedSymmetrization()
+        pattern_bib = bib.compute_matrix(g)
+        pattern_dd = dd.compute_matrix(g)
+        pattern_bib.data[:] = 1.0
+        pattern_dd.data[:] = 1.0
+        assert (pattern_bib != pattern_dd).nnz == 0
+
+    def test_weighted_vs_unweighted_degrees(self):
+        g = DirectedGraph.from_edges(
+            [(0, 2, 5.0), (1, 2, 1.0)], n_nodes=3
+        )
+        w = DegreeDiscountedSymmetrization(weighted_degrees=True).apply(g)
+        unw = DegreeDiscountedSymmetrization(weighted_degrees=False).apply(g)
+        assert w.edge_weight(0, 1) != unw.edge_weight(0, 1)
+
+    def test_rejects_negative_exponents(self):
+        with pytest.raises(SymmetrizationError):
+            DegreeDiscountedSymmetrization(alpha=-0.5)
+        with pytest.raises(SymmetrizationError):
+            DegreeDiscountedSymmetrization(beta=-1)
+
+    def test_rejects_unknown_string(self):
+        with pytest.raises(SymmetrizationError, match="log"):
+            DegreeDiscountedSymmetrization(alpha="sqrt")
+
+    def test_rejects_both_parts_disabled(self):
+        with pytest.raises(SymmetrizationError):
+            DegreeDiscountedSymmetrization(
+                include_coupling=False, include_cocitation=False
+            )
+
+    def test_figure1_pair_connected(self, figure1):
+        g, roles = figure1
+        u = DegreeDiscountedSymmetrization().apply(g)
+        a, b = roles["pair"]
+        assert u.has_edge(a, b)
+
+    def test_repr(self):
+        assert "0.5" in repr(DegreeDiscountedSymmetrization())

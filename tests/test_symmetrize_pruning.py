@@ -1,0 +1,109 @@
+"""Unit tests for :mod:`repro.symmetrize.pruning` (§3.5, §5.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SymmetrizationError
+from repro.graph import UndirectedGraph
+from repro.symmetrize import symmetrize
+from repro.symmetrize.pruning import (
+    choose_threshold_for_degree,
+    prune_graph,
+    singleton_fraction,
+)
+
+
+class TestPruneGraph:
+    def test_removes_light_edges(self, small_weighted_ugraph):
+        pruned = prune_graph(small_weighted_ugraph, 1.0)
+        assert pruned.n_edges == 6  # the 0.1 bridge is gone
+
+    def test_zero_threshold_identity(self, small_weighted_ugraph):
+        pruned = prune_graph(small_weighted_ugraph, 0.0)
+        assert pruned == small_weighted_ugraph
+
+    def test_preserves_names(self):
+        g = UndirectedGraph.from_edges(
+            [(0, 1, 5.0)], n_nodes=2, node_names=["a", "b"]
+        )
+        assert prune_graph(g, 1.0).node_names == ["a", "b"]
+
+    def test_monotone(self, cora_small):
+        full = symmetrize(cora_small.graph, "degree_discounted")
+        prev = full.n_edges
+        for threshold in [0.01, 0.05, 0.1]:
+            pruned = prune_graph(full, threshold)
+            assert pruned.n_edges <= prev
+            prev = pruned.n_edges
+
+
+class TestChooseThreshold:
+    def test_achieves_target_degree_roughly(self, cora_small, rng):
+        full = symmetrize(cora_small.graph, "degree_discounted")
+        target = 20.0
+        threshold = choose_threshold_for_degree(
+            full, target, n_samples=300, rng=rng
+        )
+        pruned = prune_graph(full, threshold)
+        avg_degree = 2.0 * pruned.n_edges / pruned.n_nodes
+        assert avg_degree == pytest.approx(target, rel=0.5)
+
+    def test_zero_when_already_sparse(self, small_weighted_ugraph):
+        threshold = choose_threshold_for_degree(
+            small_weighted_ugraph, 100.0
+        )
+        assert threshold == 0.0
+
+    def test_empty_graph(self):
+        assert choose_threshold_for_degree(
+            UndirectedGraph.empty(5), 10.0
+        ) == 0.0
+
+    def test_rejects_bad_target(self, small_weighted_ugraph):
+        with pytest.raises(SymmetrizationError):
+            choose_threshold_for_degree(small_weighted_ugraph, 0.0)
+
+    def test_deterministic_default_rng(self, cora_small):
+        full = symmetrize(cora_small.graph, "degree_discounted")
+        t1 = choose_threshold_for_degree(full, 15.0)
+        t2 = choose_threshold_for_degree(full, 15.0)
+        assert t1 == t2
+
+
+class TestSingletonFraction:
+    def test_no_singletons(self, small_weighted_ugraph):
+        assert singleton_fraction(small_weighted_ugraph) == 0.0
+
+    def test_counts_isolated(self):
+        g = UndirectedGraph.from_edges([(0, 1)], n_nodes=4)
+        assert singleton_fraction(g) == 0.5
+
+    def test_empty_graph(self):
+        assert singleton_fraction(UndirectedGraph.empty(0)) == 0.0
+
+    def test_pruning_bibliometric_strands_more_nodes_than_dd(
+        self, wiki_small
+    ):
+        """The §5.3 pathology: at a matched edge budget, pruned
+        Bibliometric strands far more nodes than Degree-discounted."""
+        from repro.symmetrize import get_symmetrization
+
+        dd_full = get_symmetrization("degree_discounted").apply(
+            wiki_small.graph
+        )
+        bib_full = get_symmetrization("bibliometric").apply(
+            wiki_small.graph
+        )
+        dd_thr = choose_threshold_for_degree(dd_full, 20.0)
+        dd = prune_graph(dd_full, dd_thr)
+        # Find the bibliometric threshold with a similar edge budget.
+        lo, hi = 0.0, float(bib_full.adjacency.max())
+        for _ in range(30):
+            mid = (lo + hi) / 2
+            if prune_graph(bib_full, mid).n_edges > dd.n_edges:
+                lo = mid
+            else:
+                hi = mid
+        bib = prune_graph(bib_full, hi)
+        assert bib.n_edges <= dd.n_edges * 1.2
+        assert singleton_fraction(bib) > singleton_fraction(dd) + 0.02

@@ -1,0 +1,142 @@
+"""Unit tests for :mod:`repro.symmetrize.variants` (Jaccard, Hybrid)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SymmetrizationError
+from repro.graph import DirectedGraph
+from repro.symmetrize import (
+    HybridSymmetrization,
+    JaccardSymmetrization,
+    get_symmetrization,
+    symmetrize,
+)
+
+
+class TestJaccard:
+    def test_registered(self):
+        assert isinstance(
+            get_symmetrization("jaccard"), JaccardSymmetrization
+        )
+
+    def test_identical_out_neighbourhoods(self):
+        g = DirectedGraph.from_edges(
+            [(0, 2), (0, 3), (1, 2), (1, 3)], n_nodes=4
+        )
+        u = JaccardSymmetrization(include_in=False).apply(g)
+        assert u.edge_weight(0, 1) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        # out(0) = {2, 3}, out(1) = {3, 4}: J = 1/3.
+        g = DirectedGraph.from_edges(
+            [(0, 2), (0, 3), (1, 3), (1, 4)], n_nodes=5
+        )
+        u = JaccardSymmetrization(include_in=False).apply(g)
+        assert u.edge_weight(0, 1) == pytest.approx(1 / 3)
+
+    def test_in_similarity_term(self):
+        g = DirectedGraph.from_edges(
+            [(2, 0), (2, 1), (3, 0), (3, 1)], n_nodes=4
+        )
+        u = JaccardSymmetrization(include_out=False).apply(g)
+        assert u.edge_weight(0, 1) == pytest.approx(1.0)
+
+    def test_sum_of_terms(self):
+        g = DirectedGraph.from_edges(
+            [(0, 2), (1, 2), (3, 0), (3, 1)], n_nodes=4
+        )
+        u = symmetrize(g, "jaccard")
+        # out overlap 1/1 = 1.0, in overlap 1/1 = 1.0 -> 2.0.
+        assert u.edge_weight(0, 1) == pytest.approx(2.0)
+
+    def test_bounded_by_two(self, rng):
+        from repro.graph.generators import power_law_digraph
+
+        g = power_law_digraph(150, rng)
+        u = symmetrize(g, "jaccard")
+        if u.adjacency.nnz:
+            assert u.adjacency.data.max() <= 2.0 + 1e-12
+
+    def test_weights_ignored(self):
+        weighted = DirectedGraph.from_edges(
+            [(0, 2, 100.0), (1, 2, 1.0)], n_nodes=3
+        )
+        unweighted = DirectedGraph.from_edges(
+            [(0, 2), (1, 2)], n_nodes=3
+        )
+        uw = symmetrize(weighted, "jaccard")
+        uu = symmetrize(unweighted, "jaccard")
+        assert uw.edge_weight(0, 1) == uu.edge_weight(0, 1)
+
+    def test_rejects_both_disabled(self):
+        with pytest.raises(SymmetrizationError):
+            JaccardSymmetrization(include_out=False, include_in=False)
+
+    def test_figure1_pair_connected(self, figure1):
+        g, roles = figure1
+        u = symmetrize(g, "jaccard")
+        a, b = roles["pair"]
+        assert u.edge_weight(a, b) == pytest.approx(2.0)
+
+
+class TestHybrid:
+    def test_registered(self):
+        assert isinstance(
+            get_symmetrization("hybrid"), HybridSymmetrization
+        )
+
+    def test_lambda_one_is_scaled_naive(self, two_fans_digraph):
+        hybrid = HybridSymmetrization(lam=1.0).compute_matrix(
+            two_fans_digraph
+        )
+        naive = get_symmetrization("naive").compute_matrix(
+            two_fans_digraph
+        )
+        scale = naive.max()
+        assert np.allclose(
+            hybrid.todense(), naive.todense() / scale
+        )
+
+    def test_lambda_zero_is_scaled_dd(self, two_fans_digraph):
+        hybrid = HybridSymmetrization(lam=0.0).compute_matrix(
+            two_fans_digraph
+        )
+        dd = get_symmetrization("degree_discounted").compute_matrix(
+            two_fans_digraph
+        )
+        assert np.allclose(
+            hybrid.todense(), dd.todense() / dd.max()
+        )
+
+    def test_mixture_contains_both_edge_sets(self, figure1):
+        g, roles = figure1
+        u = symmetrize(g, "hybrid", lam=0.5)
+        a, b = roles["pair"]
+        # Similarity edge between the pair...
+        assert u.has_edge(a, b)
+        # ...and direct edges from the input survive too.
+        s = roles["sources"][0]
+        assert u.has_edge(s, a)
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(SymmetrizationError):
+            HybridSymmetrization(lam=1.5)
+        with pytest.raises(SymmetrizationError):
+            HybridSymmetrization(lam=-0.1)
+
+    def test_works_in_pipeline(self, cora_small):
+        import repro
+
+        pipe = repro.SymmetrizeClusterPipeline(
+            "hybrid", "metis", threshold=0.0
+        )
+        result = pipe.run(
+            cora_small.graph,
+            n_clusters=12,
+            ground_truth=cora_small.ground_truth,
+        )
+        assert result.average_f > 20.0
+
+    def test_repr(self):
+        assert "0.5" in repr(HybridSymmetrization())
+        assert "include_out" in repr(JaccardSymmetrization())
