@@ -1,0 +1,40 @@
+"""All-pairs backend scaling bench (§3.6 scalability claims).
+
+Runs the ``repro bench`` sweep — symmetrize (both all-pairs backends)
++ MLR-MCL on synthetic power-law digraphs — at benchmark scale and
+persists both the human summary and the machine-readable JSON under
+``benchmarks/results/``. The shape claims asserted here are the same
+floors the harness encodes in its regression block: the vectorized
+backend must beat the pure-Python oracle, and both must agree on the
+output edge set.
+"""
+
+from benchmarks.conftest import RESULTS_DIR, SCALE, emit
+from repro.perf.bench import format_summary, run_bench, write_bench
+
+
+def test_bench_allpairs(benchmark):
+    sizes = [int(1000 * SCALE), int(4000 * SCALE)]
+    results = benchmark.pedantic(
+        lambda: run_bench(
+            sizes=sizes, thresholds=(0.25, 0.5), smoke=True
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("bench_allpairs", format_summary(results))
+    write_bench(results, RESULTS_DIR / "BENCH_allpairs.json")
+
+    for key, speedup in results["speedups"].items():
+        assert speedup >= 1.0, (key, speedup)
+    by_config: dict[tuple, dict[str, int]] = {}
+    for run in results["runs"]:
+        if run["kind"] != "symmetrize":
+            continue
+        config = (run["n_nodes"], run["threshold"])
+        by_config.setdefault(config, {})[run["backend"]] = run[
+            "edges_out"
+        ]
+    for config, edges in by_config.items():
+        assert edges["python"] == edges["vectorized"], config
+    assert results["regression"]["passed"]

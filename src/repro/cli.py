@@ -8,6 +8,7 @@ Subcommands mirror the library's workflow on plain-text edge lists::
     python -m repro pipeline    graph.txt labels.txt -m dd -c metis -k 20
     python -m repro generate    cora out.txt --labels labels.txt -n 1500
     python -m repro evaluate    labels.txt truth.txt
+    python -m repro bench       -o BENCH_allpairs.json --smoke
 
 Graphs are whitespace edge lists (``src dst [weight]``); labels files
 are one integer per line (``-1`` = unlabeled in truth files).
@@ -164,6 +165,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("truth", help="ground-truth labels file (-1 = none)")
 
     p = sub.add_parser(
+        "bench",
+        help=(
+            "symmetrize+cluster perf sweep on synthetic power-law "
+            "graphs; writes BENCH_allpairs.json"
+        ),
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_allpairs.json",
+        help="where to write the JSON results",
+    )
+    p.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="node counts to sweep (default depends on --smoke)",
+    )
+    p.add_argument(
+        "-t",
+        "--thresholds",
+        type=float,
+        nargs="+",
+        default=None,
+        help="prune thresholds to sweep",
+    )
+    p.add_argument(
+        "--backends",
+        nargs="+",
+        default=["python", "vectorized"],
+        help="all-pairs backends to time",
+    )
+    p.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="parallel row-block workers for the vectorized backend",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-scale sweep (one 2k-node graph) for CI",
+    )
+    p.add_argument(
+        "--no-cluster",
+        action="store_true",
+        help="skip the MLR-MCL stage-2 timing",
+    )
+    p.add_argument("-s", "--seed", type=int, default=0)
+
+    p = sub.add_parser(
         "experiment",
         help="regenerate one of the paper's tables/figures",
     )
@@ -300,6 +353,24 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import format_summary, run_bench, write_bench
+
+    results = run_bench(
+        sizes=args.sizes,
+        thresholds=args.thresholds,
+        backends=args.backends,
+        n_jobs=args.n_jobs,
+        seed=args.seed,
+        smoke=args.smoke,
+        with_cluster=not args.no_cluster,
+    )
+    path = write_bench(results, args.output)
+    print(format_summary(results))
+    print(f"results written to {path}")
+    return 0 if results["regression"]["passed"] else 1
+
+
 def _print_experiment(result, with_chart: bool) -> None:
     from repro.pipeline.charts import render_series_chart
 
@@ -342,6 +413,7 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
+    "bench": _cmd_bench,
     "experiment": _cmd_experiment,
 }
 

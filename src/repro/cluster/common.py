@@ -162,8 +162,17 @@ class GraphClusterer(abc.ABC):
         self, graph: UndirectedGraph, n_clusters: int | None = None
     ) -> Clustering:
         """Cluster ``graph`` into (approximately) ``n_clusters`` parts."""
+        from repro.perf.stopwatch import Stopwatch
+
         _check_input(graph, n_clusters)
-        return self._cluster(graph, n_clusters)
+        with Stopwatch(f"cluster:{self.name}") as sw:
+            result = self._cluster(graph, n_clusters)
+            sw.count(
+                n_nodes=graph.n_nodes,
+                nnz_in=graph.adjacency.nnz,
+                n_clusters=result.n_clusters,
+            )
+        return result
 
     @abc.abstractmethod
     def _cluster(

@@ -41,6 +41,7 @@ from repro.cluster.common import (
 )
 from repro.exceptions import ClusteringError
 from repro.graph.ugraph import UndirectedGraph
+from repro.perf.stopwatch import add_counters
 
 __all__ = ["MLRMCL"]
 
@@ -76,19 +77,29 @@ def _column_max(matrix: sp.csc_array) -> np.ndarray:
 def _prune_columns(
     matrix: sp.csc_array, keep_fraction: float
 ) -> sp.csc_array:
-    """Drop entries below ``keep_fraction`` of their column maximum."""
+    """Drop entries below ``keep_fraction`` of their column maximum.
+
+    Assembles the pruned CSC directly from the kept entries — they
+    stay in column-major, row-sorted order, so no COO round-trip (and
+    its re-sort) is needed.
+    """
     if matrix.nnz == 0:
         return matrix
     col_max = _column_max(matrix)
+    n_cols = matrix.shape[1]
     counts = np.diff(matrix.indptr)
     thresholds = np.repeat(col_max * keep_fraction, counts)
     keep = matrix.data >= thresholds
-    cols = np.repeat(np.arange(matrix.shape[1]), counts)
-    pruned = sp.coo_array(
-        (matrix.data[keep], (matrix.indices[keep], cols[keep])),
+    if keep.all():
+        return matrix
+    kept_counts = np.bincount(
+        np.repeat(np.arange(n_cols), counts)[keep], minlength=n_cols
+    )
+    indptr = np.concatenate(([0], np.cumsum(kept_counts)))
+    return sp.csc_array(
+        (matrix.data[keep], matrix.indices[keep], indptr),
         shape=matrix.shape,
-    ).tocsc()
-    return pruned
+    )
 
 
 def _inflate(matrix: sp.csc_array, inflation: float) -> sp.csc_array:
@@ -132,10 +143,19 @@ def _attractor_labels(matrix: sp.csc_array) -> np.ndarray:
     n = matrix.shape[1]
     attractor = np.arange(n, dtype=np.int64)
     counts = np.diff(matrix.indptr)
-    for j in np.flatnonzero(counts):
-        start, end = matrix.indptr[j], matrix.indptr[j + 1]
-        best = start + int(np.argmax(matrix.data[start:end]))
-        attractor[j] = matrix.indices[best]
+    nonempty = np.flatnonzero(counts)
+    if nonempty.size:
+        # Segmented argmax, matching np.argmax's first-max tie rule:
+        # flag every in-column maximum, then take the first flagged
+        # position at or after each column start.
+        starts = matrix.indptr[nonempty]
+        col_max = np.maximum.reduceat(matrix.data, starts)
+        at_max = matrix.data == np.repeat(col_max, counts[nonempty])
+        max_positions = np.flatnonzero(at_max)
+        firsts = max_positions[
+            np.searchsorted(max_positions, starts)
+        ]
+        attractor[nonempty] = matrix.indices[firsts]
     attach = sp.coo_array(
         (np.ones(n), (np.arange(n), attractor)), shape=(n, n)
     )
@@ -166,11 +186,13 @@ def _rmcl_iterations(
       that granularity, so further coarsening only loses clusters).
     """
     prev_labels = None
+    performed = 0
     for _ in range(n_iter):
         flow = (flow @ m_g).tocsc()  # regularize
         flow = _inflate(flow, inflation)
         flow = _prune_columns(flow, prune_fraction)
         flow = _column_normalize(flow)
+        performed += 1
         labels = _attractor_labels(flow)
         if stop_at_k is not None:
             n_clusters = np.unique(labels).size
@@ -179,6 +201,9 @@ def _rmcl_iterations(
         if prev_labels is not None and np.array_equal(labels, prev_labels):
             break
         prev_labels = labels
+    add_counters(
+        "cluster:mlrmcl", rmcl_iterations=performed, flow_nnz=flow.nnz
+    )
     return flow
 
 

@@ -1,5 +1,8 @@
 """Sparse linear-algebra helpers shared across the library.
 
+- :mod:`~repro.linalg.allpairs` — threshold-aware all-pairs similarity
+  (§3.6): the blocked vectorized engine and the pure-Python reference
+  oracle behind the degree-discounted fast path.
 - :mod:`~repro.linalg.pagerank` — transition matrices and stationary
   distributions of random walks (used by the Random-walk symmetrization
   and the directed spectral baselines).
@@ -7,6 +10,7 @@
   pruning and top-k extraction on CSR matrices.
 """
 
+from repro.linalg.allpairs import thresholded_gram_matrix
 from repro.linalg.pagerank import (
     pagerank,
     stationary_distribution,
@@ -20,6 +24,7 @@ from repro.linalg.sparse_utils import (
 )
 
 __all__ = [
+    "thresholded_gram_matrix",
     "pagerank",
     "stationary_distribution",
     "transition_matrix",

@@ -1,0 +1,43 @@
+"""Stage-level performance instrumentation and the bench harness.
+
+The north-star of this reproduction is running "as fast as the
+hardware allows" on web-scale graphs, which makes *measuring* each
+pipeline stage a first-class concern. This package provides:
+
+- :mod:`~repro.perf.stopwatch` — a :class:`Stopwatch` timer, a
+  ``@timed`` decorator, and a :class:`PerfRecorder` that the pipeline,
+  symmetrizations, clusterers and the all-pairs engine report into
+  (per-stage wall time plus counters such as nnz in/out, candidate
+  pairs generated, pairs pruned).
+- :mod:`~repro.perf.bench` — the ``repro bench`` harness: a
+  symmetrize + cluster sweep over synthetic power-law graphs across
+  sizes and backends that emits ``BENCH_allpairs.json`` with
+  per-backend timings and regression thresholds.
+
+Instrumentation is zero-configuration and near-zero overhead: stages
+record into the *ambient* recorder installed by
+:func:`~repro.perf.recording`, and recording calls are no-ops when no
+recorder is active.
+"""
+
+from repro.perf.stopwatch import (
+    PerfRecorder,
+    StageRecord,
+    Stopwatch,
+    add_counters,
+    current_recorder,
+    record_stage,
+    recording,
+    timed,
+)
+
+__all__ = [
+    "PerfRecorder",
+    "StageRecord",
+    "Stopwatch",
+    "add_counters",
+    "current_recorder",
+    "record_stage",
+    "recording",
+    "timed",
+]

@@ -1,0 +1,300 @@
+"""The ``repro bench`` harness: stage-level perf on synthetic graphs.
+
+Runs the degree-discounted symmetrize + cluster pipeline on synthetic
+power-law digraphs across sizes, prune thresholds and all-pairs
+backends, and emits a machine-readable ``BENCH_allpairs.json`` so the
+perf trajectory is visible across PRs:
+
+- **symmetrize runs** time
+  :meth:`~repro.symmetrize.DegreeDiscountedSymmetrization.apply_pruned`
+  per backend and capture the engine counters (candidate pairs,
+  pruned pairs, indexed nnz) from the :mod:`repro.perf` recorder;
+- **cluster runs** time MLR-MCL on the vectorized backend's output;
+- the **regression block** encodes the thresholds future PRs are held
+  to (minimum vectorized-over-python speedup at the largest benched
+  size) together with whether this run passed them.
+
+``smoke=True`` shrinks the sweep to a single 2 000-node graph at
+threshold 0.5 so the whole harness runs in seconds — that mode is
+wired into the test suite (``tests/test_perf.py``) to keep the JSON
+schema and the backend ordering honest on every run.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+import scipy
+
+from repro.exceptions import ReproError
+from repro.perf.stopwatch import PerfRecorder, recording
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_SIZES",
+    "DEFAULT_THRESHOLDS",
+    "SMOKE_SIZES",
+    "SMOKE_THRESHOLDS",
+    "REQUIRED_RUN_KEYS",
+    "run_bench",
+    "write_bench",
+    "format_summary",
+]
+
+#: Schema identifier embedded in the JSON for forward compatibility.
+BENCH_SCHEMA = "repro-bench-allpairs/v1"
+
+#: Full-sweep defaults: sizes bracket the regime where the pure-Python
+#: engine is still tolerable; thresholds bracket the Table-3 operating
+#: range (dense, medium, heavily-pruned).
+DEFAULT_SIZES = (1_000, 3_000, 10_000)
+DEFAULT_THRESHOLDS = (0.1, 0.25, 0.5)
+
+#: Smoke-mode sweep: one size/threshold pair, runs in seconds.
+SMOKE_SIZES = (2_000,)
+SMOKE_THRESHOLDS = (0.5,)
+
+#: Keys every entry of ``results["runs"]`` must carry (asserted by the
+#: smoke test so downstream consumers can rely on them).
+REQUIRED_RUN_KEYS = frozenset(
+    {
+        "kind",
+        "backend",
+        "n_nodes",
+        "n_edges",
+        "threshold",
+        "seconds",
+        "edges_out",
+        "counters",
+    }
+)
+
+#: Vectorized-over-python speedup floor at the largest benched size.
+FULL_MIN_SPEEDUP = 5.0
+SMOKE_MIN_SPEEDUP = 1.0
+
+
+def _bench_graph(n_nodes: int, seed: int):
+    from repro.graph.generators import power_law_digraph
+
+    rng = np.random.default_rng(seed)
+    return power_law_digraph(n_nodes, rng)
+
+
+def _symmetrize_run(
+    sym, graph, threshold: float, backend: str, n_jobs: int | None
+) -> tuple[dict[str, Any], Any]:
+    recorder = PerfRecorder()
+    with recording(recorder):
+        t0 = time.perf_counter()
+        result = sym.apply_pruned(
+            graph, threshold, backend=backend, n_jobs=n_jobs
+        )
+        seconds = time.perf_counter() - t0
+    counters = {
+        name: dict(stage.counters)
+        for name, stage in recorder.stages.items()
+        if stage.counters
+    }
+    return {
+        "kind": "symmetrize",
+        "backend": backend,
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "threshold": threshold,
+        "seconds": seconds,
+        "edges_out": result.n_edges,
+        "counters": counters,
+    }, result
+
+
+def _cluster_run(graph, symmetrized, threshold: float) -> dict[str, Any]:
+    from repro.cluster.mlrmcl import MLRMCL
+
+    recorder = PerfRecorder()
+    with recording(recorder):
+        t0 = time.perf_counter()
+        clustering = MLRMCL().cluster(symmetrized)
+        seconds = time.perf_counter() - t0
+    counters = {
+        name: dict(stage.counters)
+        for name, stage in recorder.stages.items()
+        if stage.counters
+    }
+    return {
+        "kind": "cluster",
+        "backend": "mlrmcl",
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "threshold": threshold,
+        "seconds": seconds,
+        "edges_out": int(clustering.n_clusters),
+        "counters": counters,
+    }
+
+
+def run_bench(
+    sizes: Sequence[int] | None = None,
+    thresholds: Sequence[float] | None = None,
+    backends: Sequence[str] = ("python", "vectorized"),
+    n_jobs: int | None = None,
+    seed: int = 0,
+    smoke: bool = False,
+    with_cluster: bool = True,
+) -> dict[str, Any]:
+    """Run the symmetrize + cluster sweep; returns the results dict.
+
+    Parameters
+    ----------
+    sizes, thresholds:
+        Node counts and prune thresholds to sweep (defaults depend on
+        ``smoke``).
+    backends:
+        All-pairs backends to time; ``"python"`` must be present for
+        speedups to be reported.
+    n_jobs:
+        Forwarded to the vectorized engine's block fan-out.
+    seed:
+        Graph-generation seed (one graph per size, shared across
+        thresholds and backends).
+    smoke:
+        Use the seconds-scale smoke sweep and the lenient regression
+        floor (vectorized merely must not be slower than python).
+    with_cluster:
+        Also time MLR-MCL on the vectorized backend's output.
+    """
+    from repro.symmetrize.degree_discounted import (
+        DegreeDiscountedSymmetrization,
+    )
+
+    if sizes is None:
+        sizes = SMOKE_SIZES if smoke else DEFAULT_SIZES
+    if thresholds is None:
+        thresholds = SMOKE_THRESHOLDS if smoke else DEFAULT_THRESHOLDS
+    if not sizes or not thresholds or not backends:
+        raise ReproError("bench needs at least one size/threshold/backend")
+    sym = DegreeDiscountedSymmetrization()
+    min_speedup = SMOKE_MIN_SPEEDUP if smoke else FULL_MIN_SPEEDUP
+
+    runs: list[dict[str, Any]] = []
+    speedups: dict[str, float] = {}
+    for n_nodes in sizes:
+        graph = _bench_graph(int(n_nodes), seed)
+        for threshold in thresholds:
+            by_backend: dict[str, float] = {}
+            vec_output = None
+            for backend in backends:
+                run, symmetrized = _symmetrize_run(
+                    sym, graph, float(threshold), backend, n_jobs
+                )
+                runs.append(run)
+                by_backend[backend] = run["seconds"]
+                if backend == "vectorized":
+                    vec_output = symmetrized
+            if "python" in by_backend and "vectorized" in by_backend:
+                key = f"{int(n_nodes)}@{float(threshold):g}"
+                speedups[key] = by_backend["python"] / max(
+                    by_backend["vectorized"], 1e-12
+                )
+            if with_cluster and vec_output is not None:
+                if vec_output.n_edges > 0:
+                    runs.append(
+                        _cluster_run(graph, vec_output, float(threshold))
+                    )
+
+    regression = _regression_block(
+        speedups, sizes, thresholds, min_speedup
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "sizes": [int(s) for s in sizes],
+            "thresholds": [float(t) for t in thresholds],
+            "backends": list(backends),
+            "n_jobs": n_jobs,
+            "seed": seed,
+            "smoke": smoke,
+            "with_cluster": with_cluster,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "scipy": scipy.__version__,
+            "machine": platform.machine(),
+        },
+        "runs": runs,
+        "speedups": speedups,
+        "regression": regression,
+    }
+
+
+def _regression_block(
+    speedups: dict[str, float],
+    sizes: Sequence[int],
+    thresholds: Sequence[float],
+    min_speedup: float,
+) -> dict[str, Any]:
+    """Pass/fail against the perf floor at the largest benched size.
+
+    The floor binds at the largest size and highest threshold of the
+    sweep — the regime the prefix filter is built for — so smaller,
+    noisier configurations don't flap the verdict.
+    """
+    at = f"{int(max(sizes))}@{float(max(thresholds)):g}"
+    observed = speedups.get(at)
+    passed = observed is None or observed >= min_speedup
+    failures = []
+    if not passed:
+        failures.append(
+            f"vectorized speedup {observed:.2f}x at {at} is below the "
+            f"{min_speedup:.2f}x floor"
+        )
+    return {
+        "thresholds": {
+            "min_speedup_vectorized": min_speedup,
+            "at": at,
+        },
+        "observed_speedup": observed,
+        "passed": passed,
+        "failures": failures,
+    }
+
+
+def write_bench(results: dict[str, Any], path: str | Path) -> Path:
+    """Serialize ``results`` to ``path`` (pretty-printed JSON)."""
+    out = Path(path)
+    out.write_text(json.dumps(results, indent=2, sort_keys=False) + "\n")
+    return out
+
+
+def format_summary(results: dict[str, Any]) -> str:
+    """Human-readable table of the benched runs and speedups."""
+    lines = [
+        f"{'kind':<11} {'backend':<11} {'nodes':>7} {'thr':>5} "
+        f"{'seconds':>9} {'edges_out':>10}"
+    ]
+    for run in results["runs"]:
+        lines.append(
+            f"{run['kind']:<11} {run['backend']:<11} "
+            f"{run['n_nodes']:>7} {run['threshold']:>5g} "
+            f"{run['seconds']:>9.3f} {run['edges_out']:>10}"
+        )
+    if results["speedups"]:
+        lines.append("")
+        for key, value in results["speedups"].items():
+            lines.append(f"speedup[{key}] = {value:.2f}x (python/vectorized)")
+    reg = results["regression"]
+    verdict = "PASS" if reg["passed"] else "FAIL"
+    floor = reg["thresholds"]["min_speedup_vectorized"]
+    lines.append(
+        f"regression: {verdict} "
+        f"(floor {floor:g}x at {reg['thresholds']['at']})"
+    )
+    for failure in reg["failures"]:
+        lines.append(f"  - {failure}")
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""Stage-level timing instrumentation.
+
+Three layers, from low to high level:
+
+- :class:`Stopwatch` — a re-entrant wall-clock timer (context manager
+  or manual ``start``/``stop``) with attached counters.
+- :class:`PerfRecorder` — an ordered collection of
+  :class:`StageRecord` entries keyed by stage name; repeated records
+  for the same stage accumulate (seconds and counters sum, calls
+  count up), so a recorder spanning a whole sweep reports totals.
+- The *ambient recorder* — a :mod:`contextvars`-based current
+  recorder installed with :func:`recording`. Library code calls
+  :func:`record_stage` / :func:`add_counters` unconditionally; both
+  are no-ops when no recorder is active, so instrumentation costs two
+  ``perf_counter`` calls and a context-variable read per stage.
+
+The pipeline, the symmetrizations, the clusterers and the all-pairs
+similarity engine all report through this module; the ``repro bench``
+harness (:mod:`repro.perf.bench`) snapshots the recorder per run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "StageRecord",
+    "PerfRecorder",
+    "Stopwatch",
+    "recording",
+    "current_recorder",
+    "record_stage",
+    "add_counters",
+    "timed",
+]
+
+
+@dataclass
+class StageRecord:
+    """Accumulated measurements for one named stage.
+
+    Attributes
+    ----------
+    name:
+        Stage identifier, conventionally ``"<layer>:<detail>"`` (e.g.
+        ``"symmetrize:degree_discounted"``, ``"allpairs:vectorized"``).
+    seconds:
+        Total wall-clock time across all calls.
+    calls:
+        How many times the stage was recorded.
+    counters:
+        Summed numeric side-counters (``nnz_out``, ``candidate_pairs``,
+        ``pruned_pairs``, ...).
+    """
+
+    name: str
+    seconds: float = 0.0
+    calls: int = 0
+    counters: dict[str, float] = field(default_factory=dict)
+
+    def merge(self, seconds: float, counters: dict[str, float]) -> None:
+        """Fold one more measurement into this record."""
+        self.seconds += float(seconds)
+        self.calls += 1
+        for key, value in counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + float(value)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable view."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "calls": self.calls,
+            "counters": dict(self.counters),
+        }
+
+
+class PerfRecorder:
+    """Ordered per-stage accumulator of timings and counters.
+
+    Examples
+    --------
+    >>> rec = PerfRecorder()
+    >>> with recording(rec):
+    ...     record_stage("demo", 0.5, items=3)
+    ...     record_stage("demo", 0.25, items=1)
+    >>> rec.stages["demo"].calls
+    2
+    >>> rec.stages["demo"].counters["items"]
+    4.0
+    """
+
+    def __init__(self) -> None:
+        self.stages: dict[str, StageRecord] = {}
+
+    def record(self, stage: str, seconds: float = 0.0, **counters: float) -> None:
+        """Add ``seconds`` (and counters) to ``stage``, creating it if new."""
+        entry = self.stages.get(stage)
+        if entry is None:
+            entry = self.stages[stage] = StageRecord(stage)
+        entry.merge(seconds, counters)
+
+    def add_counters(self, stage: str, **counters: float) -> None:
+        """Bump counters on ``stage`` without touching its call count."""
+        entry = self.stages.get(stage)
+        if entry is None:
+            entry = self.stages[stage] = StageRecord(stage)
+        for key, value in counters.items():
+            entry.counters[key] = entry.counters.get(key, 0.0) + float(value)
+
+    def total_seconds(self) -> float:
+        """Sum of all stage durations."""
+        return sum(s.seconds for s in self.stages.values())
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot: ``{"stages": [...], "total_seconds": ...}``."""
+        return {
+            "stages": [s.as_dict() for s in self.stages.values()],
+            "total_seconds": self.total_seconds(),
+        }
+
+    def report(self) -> str:
+        """Human-readable per-stage table."""
+        if not self.stages:
+            return "(no stages recorded)"
+        width = max(len(name) for name in self.stages)
+        lines = []
+        for stage in self.stages.values():
+            counters = ", ".join(
+                f"{k}={stage.counters[k]:g}" for k in sorted(stage.counters)
+            )
+            suffix = f"  [{counters}]" if counters else ""
+            lines.append(
+                f"{stage.name:<{width}}  {stage.seconds:9.4f}s"
+                f"  x{stage.calls}{suffix}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"PerfRecorder(stages={len(self.stages)})"
+
+
+_CURRENT: contextvars.ContextVar[PerfRecorder | None] = contextvars.ContextVar(
+    "repro_perf_recorder", default=None
+)
+
+
+def current_recorder() -> PerfRecorder | None:
+    """The ambient recorder, or ``None`` when not recording."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def recording(recorder: PerfRecorder | None = None) -> Iterator[PerfRecorder]:
+    """Install ``recorder`` (or a fresh one) as the ambient recorder.
+
+    Nested ``recording`` blocks shadow the outer recorder; the outer
+    one is restored on exit.
+    """
+    rec = recorder if recorder is not None else PerfRecorder()
+    token = _CURRENT.set(rec)
+    try:
+        yield rec
+    finally:
+        _CURRENT.reset(token)
+
+
+def record_stage(stage: str, seconds: float, **counters: float) -> None:
+    """Report a stage duration into the ambient recorder (no-op otherwise)."""
+    rec = _CURRENT.get()
+    if rec is not None:
+        rec.record(stage, seconds, **counters)
+
+
+def add_counters(stage: str, **counters: float) -> None:
+    """Bump stage counters in the ambient recorder (no-op otherwise)."""
+    rec = _CURRENT.get()
+    if rec is not None:
+        rec.add_counters(stage, **counters)
+
+
+class Stopwatch:
+    """Wall-clock timer with optional auto-reporting.
+
+    Use as a context manager::
+
+        with Stopwatch("symmetrize:dd") as sw:
+            ...
+            sw.count(nnz_out=matrix.nnz)
+        # on exit, the elapsed time + counters were reported into the
+        # ambient recorder under the stage name
+
+    or manually with :meth:`start` / :meth:`stop` (re-entrant: the
+    elapsed time accumulates across start/stop cycles). Construct with
+    ``stage=None`` for a pure timer that reports nowhere.
+    """
+
+    def __init__(self, stage: str | None = None) -> None:
+        self.stage = stage
+        self.seconds = 0.0
+        self.counters: dict[str, float] = {}
+        self._started: float | None = None
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing."""
+        if self._started is None:
+            self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Pause timing; returns the total elapsed seconds so far."""
+        if self._started is not None:
+            self.seconds += time.perf_counter() - self._started
+            self._started = None
+        return self.seconds
+
+    def count(self, **counters: float) -> None:
+        """Attach counters, summed into any prior values."""
+        for key, value in counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + float(value)
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently ticking."""
+        return self._started is not None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+        if self.stage is not None:
+            record_stage(self.stage, self.seconds, **self.counters)
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"Stopwatch(stage={self.stage!r}, {state}, {self.seconds:.4f}s)"
+
+
+def timed(stage: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator: report the wrapped function's wall time as ``stage``.
+
+    The measurement goes to the ambient recorder; without one the
+    overhead is two ``perf_counter`` calls.
+
+    Examples
+    --------
+    >>> @timed("demo:square")
+    ... def square(x):
+    ...     return x * x
+    >>> with recording() as rec:
+    ...     _ = square(7)
+    >>> rec.stages["demo:square"].calls
+    1
+    """
+
+    def decorator(func: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            t0 = time.perf_counter()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                record_stage(stage, time.perf_counter() - t0)
+
+        return wrapper
+
+    return decorator

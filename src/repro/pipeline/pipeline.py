@@ -11,7 +11,8 @@ have no hubs.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.cluster.common import Clustering, GraphClusterer, get_clusterer
 from repro.eval.fmeasure import average_f_score
@@ -19,6 +20,12 @@ from repro.eval.groundtruth import GroundTruth
 from repro.exceptions import ClusteringError
 from repro.graph.digraph import DirectedGraph
 from repro.graph.ugraph import UndirectedGraph
+from repro.perf.stopwatch import (
+    PerfRecorder,
+    current_recorder,
+    record_stage,
+    recording,
+)
 from repro.symmetrize.base import Symmetrization, get_symmetrization
 
 __all__ = ["SymmetrizeClusterPipeline", "PipelineResult"]
@@ -40,6 +47,14 @@ class PipelineResult:
     average_f:
         §4.3 Avg-F in percent, when ground truth was supplied to
         :meth:`SymmetrizeClusterPipeline.run`; ``None`` otherwise.
+    stages:
+        Per-stage instrumentation snapshot (the
+        :meth:`~repro.perf.PerfRecorder.as_dict` of the recorder that
+        observed this run): wall time, call counts and counters such
+        as nnz in/out, candidate-pair and pruned-pair totals. When the
+        run happened inside an ambient :func:`repro.perf.recording`
+        block the shared recorder accumulates across runs and this
+        snapshot reflects the totals so far.
     """
 
     clustering: Clustering
@@ -47,6 +62,7 @@ class PipelineResult:
     symmetrize_seconds: float
     cluster_seconds: float
     average_f: float | None
+    stages: dict[str, Any] | None = field(default=None, compare=False)
 
     @property
     def total_seconds(self) -> float:
@@ -127,15 +143,31 @@ class SymmetrizeClusterPipeline:
             symmetrization across many stage-2 runs (the sweeps do
             this); its symmetrize time is then reported as 0.
         """
-        if symmetrized is None:
+        recorder = current_recorder()
+        if recorder is None:
+            recorder = PerfRecorder()
+        with recording(recorder):
+            if symmetrized is None:
+                t0 = time.perf_counter()
+                symmetrized = self.symmetrize(graph)
+                t_sym = time.perf_counter() - t0
+                record_stage(
+                    "pipeline:symmetrize",
+                    t_sym,
+                    nnz_in=graph.adjacency.nnz,
+                    nnz_out=symmetrized.adjacency.nnz,
+                )
+            else:
+                t_sym = 0.0
             t0 = time.perf_counter()
-            symmetrized = self.symmetrize(graph)
-            t_sym = time.perf_counter() - t0
-        else:
-            t_sym = 0.0
-        t0 = time.perf_counter()
-        clustering = self.clusterer.cluster(symmetrized, n_clusters)
-        t_cluster = time.perf_counter() - t0
+            clustering = self.clusterer.cluster(symmetrized, n_clusters)
+            t_cluster = time.perf_counter() - t0
+            record_stage(
+                "pipeline:cluster",
+                t_cluster,
+                nnz_in=symmetrized.adjacency.nnz,
+                n_clusters=clustering.n_clusters,
+            )
         avg_f = (
             average_f_score(clustering, ground_truth)
             if ground_truth is not None
@@ -147,6 +179,7 @@ class SymmetrizeClusterPipeline:
             symmetrize_seconds=t_sym,
             cluster_seconds=t_cluster,
             average_f=avg_f,
+            stages=recorder.as_dict(),
         )
 
     def __repr__(self) -> str:

@@ -16,6 +16,7 @@ from repro.exceptions import SymmetrizationError
 from repro.graph.digraph import DirectedGraph
 from repro.graph.ugraph import UndirectedGraph
 from repro.linalg.sparse_utils import prune_matrix
+from repro.perf.stopwatch import Stopwatch
 
 __all__ = [
     "Symmetrization",
@@ -116,16 +117,24 @@ class Symmetrization(abc.ABC):
             raise SymmetrizationError(
                 f"expected a DirectedGraph, got {type(graph).__name__}"
             )
-        matrix = self.compute_matrix(graph).tocsr()
-        if threshold > 0:
-            matrix = prune_matrix(matrix, threshold)
-        if drop_self_loops:
-            lil = matrix.tolil()
-            lil.setdiag(0.0)
-            matrix = lil.tocsr()
-            matrix.eliminate_zeros()
-        # Clean tiny asymmetries from floating-point products.
-        matrix = ((matrix + matrix.T) * 0.5).tocsr()
+        with Stopwatch(f"symmetrize:{self.name}") as sw:
+            matrix = self.compute_matrix(graph).tocsr()
+            nnz_raw = matrix.nnz
+            if threshold > 0:
+                matrix = prune_matrix(matrix, threshold)
+            if drop_self_loops:
+                lil = matrix.tolil()
+                lil.setdiag(0.0)
+                matrix = lil.tocsr()
+                matrix.eliminate_zeros()
+            # Clean tiny asymmetries from floating-point products.
+            matrix = ((matrix + matrix.T) * 0.5).tocsr()
+            sw.count(
+                n_nodes=graph.n_nodes,
+                nnz_in=graph.adjacency.nnz,
+                nnz_raw=nnz_raw,
+                nnz_out=matrix.nnz,
+            )
         return UndirectedGraph(
             matrix, node_names=graph.node_names, validate=False
         )

@@ -126,36 +126,21 @@ class DegreeDiscountedSymmetrization(Symmetrization):
             total = total + part
         return total.tocsr()
 
-    def apply_pruned(self, graph: DirectedGraph, threshold: float):
-        """Compute the symmetrized graph *directly at* a prune
-        threshold, never materializing the full similarity matrix.
+    def pruning_factors(
+        self, graph: DirectedGraph
+    ) -> list[sp.csr_array]:
+        """The square-root factors of the §3.6 fast path.
 
-        Uses the §3.6 idea (Bayardo et al.'s threshold-aware all-pairs
-        similarity) via the factorizations ``B_d = Y Yᵀ`` with
-        ``Y = Do^-α A Di^-β/2`` and ``C_d = Z Zᵀ`` with
-        ``Z = Di^-β Aᵀ Do^-α/2``. Each term is searched at
-        ``threshold / 2`` (a pair can reach ``threshold`` with both
-        halves just below it), summed, and filtered exactly.
-
-        Requires numeric ``alpha``/``beta`` (the ``"log"`` discount
-        has no symmetric square-root factorization) and a positive
-        threshold. Output matches ``apply(graph, threshold=threshold)``
-        up to floating-point summation order: shared entries agree to
-        ~1 ULP, and pairs whose similarity ties the threshold exactly
-        may fall on either side.
+        Returns ``Y`` with ``B_d = Y Yᵀ`` (when coupling is included)
+        and ``Z`` with ``C_d = Z Zᵀ`` (when co-citation is included),
+        the matrices :func:`~repro.linalg.allpairs
+        .thresholded_gram_matrix` is run on. Exposed so the bench
+        harness can time the all-pairs engine on exactly the rows the
+        pruned symmetrization searches.
         """
-        from repro.graph.ugraph import UndirectedGraph
-        from repro.linalg.allpairs import thresholded_gram_matrix
-        from repro.linalg.sparse_utils import prune_matrix
-
         if isinstance(self.alpha, str) or isinstance(self.beta, str):
             raise SymmetrizationError(
                 "apply_pruned requires numeric alpha/beta"
-            )
-        if threshold <= 0:
-            raise SymmetrizationError(
-                "apply_pruned requires a positive threshold; "
-                "use apply() for threshold 0"
             )
         adj = graph.adjacency.tocsr()
         d_out = graph.out_degrees(weighted=self.weighted_degrees)
@@ -179,6 +164,51 @@ class DegreeDiscountedSymmetrization(Symmetrization):
             factors.append(
                 (in_b @ adj.T.tocsr() @ out_half).tocsr()
             )
+        return factors
+
+    def apply_pruned(
+        self,
+        graph: DirectedGraph,
+        threshold: float,
+        backend: str = "vectorized",
+        block_size: int | None = None,
+        n_jobs: int | None = None,
+    ):
+        """Compute the symmetrized graph *directly at* a prune
+        threshold, never materializing the full similarity matrix.
+
+        Uses the §3.6 idea (Bayardo et al.'s threshold-aware all-pairs
+        similarity) via the factorizations ``B_d = Y Yᵀ`` with
+        ``Y = Do^-α A Di^-β/2`` and ``C_d = Z Zᵀ`` with
+        ``Z = Di^-β Aᵀ Do^-α/2``. Each term is searched at
+        ``threshold / 2`` (a pair can reach ``threshold`` with both
+        halves just below it), summed, and filtered exactly. The
+        surviving candidate pairs are verified in one batched gather
+        per factor (gathered sparse row selections, elementwise
+        multiply, row sums) rather than pair-by-pair.
+
+        Requires numeric ``alpha``/``beta`` (the ``"log"`` discount
+        has no symmetric square-root factorization) and a positive
+        threshold. ``backend``/``block_size``/``n_jobs`` are forwarded
+        to :func:`~repro.linalg.allpairs.thresholded_gram_matrix`.
+        Output matches ``apply(graph, threshold=threshold)`` up to
+        floating-point summation order: shared entries agree to
+        ~1 ULP, and pairs whose similarity ties the threshold exactly
+        may fall on either side.
+        """
+        from repro.graph.ugraph import UndirectedGraph
+        from repro.linalg.allpairs import (
+            DEFAULT_BLOCK_SIZE,
+            thresholded_gram_matrix,
+        )
+        from repro.perf.stopwatch import add_counters
+
+        if threshold <= 0:
+            raise SymmetrizationError(
+                "apply_pruned requires a positive threshold; "
+                "use apply() for threshold 0"
+            )
+        factors = self.pruning_factors(graph)
         # A pair reaching `threshold` in total has at least one term
         # >= threshold / n_terms, so searching each factor at that
         # per-term level yields a complete candidate set; exact totals
@@ -186,36 +216,42 @@ class DegreeDiscountedSymmetrization(Symmetrization):
         per_term = threshold / len(factors)
         candidates = None
         for Y in factors:
-            found = thresholded_gram_matrix(Y, per_term)
+            found = thresholded_gram_matrix(
+                Y,
+                per_term,
+                backend=backend,
+                block_size=block_size or DEFAULT_BLOCK_SIZE,
+                n_jobs=n_jobs,
+            )
             found.data[:] = 1.0
             candidates = (
                 found if candidates is None else candidates + found
             )
-        candidates = candidates.tocoo()
-        rows_out, cols_out, vals_out = [], [], []
-        for i, j in zip(candidates.row, candidates.col):
-            if i >= j:
-                continue  # verify each unordered pair once
-            value = 0.0
-            for Y in factors:
-                ri = Y[[int(i)], :]
-                rj = Y[[int(j)], :]
-                value += float((ri @ rj.T).toarray().ravel()[0])
-            if value >= threshold:
-                rows_out.append(int(i))
-                cols_out.append(int(j))
-                vals_out.append(value)
+        # Each unordered pair is verified once (strict upper triangle;
+        # the diagonal never enters, so no post-hoc clearing needed).
+        pairs = sp.triu(candidates, k=1).tocoo()
+        left = pairs.row.astype(np.int64)
+        right = pairs.col.astype(np.int64)
+        values = np.zeros(left.size)
+        batch = 1 << 18
+        for Y in factors:
+            for lo in range(0, left.size, batch):
+                sl = slice(lo, lo + batch)
+                values[sl] += np.asarray(
+                    Y[left[sl]].multiply(Y[right[sl]]).sum(axis=1)
+                ).ravel()
+        keep = values >= threshold
+        add_counters(
+            "apply_pruned:degree_discounted",
+            candidate_pairs=left.size,
+            kept_pairs=int(keep.sum()),
+            pruned_pairs=int(left.size - keep.sum()),
+        )
         total = sp.coo_array(
-            (vals_out, (rows_out, cols_out)),
+            (values[keep], (left[keep], right[keep])),
             shape=(graph.n_nodes, graph.n_nodes),
         ).tocsr()
         total = (total + total.T).tocsr()
-        total = prune_matrix(total, threshold)
-        lil = total.tolil()
-        lil.setdiag(0.0)
-        total = lil.tocsr()
-        total.eliminate_zeros()
-        total = ((total + total.T) * 0.5).tocsr()
         return UndirectedGraph(
             total, node_names=graph.node_names, validate=False
         )
