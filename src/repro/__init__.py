@@ -45,6 +45,9 @@ from repro.cluster import (
 )
 from repro.datasets import (
     Dataset,
+    DegenerateCase,
+    degenerate_case,
+    degenerate_corpus,
     guzmania_motif,
     load_dataset,
     make_cora_like,
@@ -76,16 +79,24 @@ from repro.eval import (
 from repro.exceptions import (
     ClusteringError,
     ConvergenceError,
+    ConvergenceWarning,
     DatasetError,
+    DegenerateGraphWarning,
     EvaluationError,
     GraphError,
     GraphFormatError,
+    PipelineError,
+    RepairWarning,
     ReproError,
+    ReproWarning,
     SymmetrizationError,
+    ValidationError,
+    ValidationWarning,
 )
 from repro.graph import DirectedGraph, UndirectedGraph
 from repro.pipeline import (
     PipelineResult,
+    PipelineWarning,
     SymmetrizeClusterPipeline,
     TuningPoint,
     sweep_alpha_beta,
@@ -108,8 +119,19 @@ from repro.symmetrize import (
     get_symmetrization,
     symmetrize,
 )
+from repro.validate import (
+    ValidationIssue,
+    ValidationReport,
+    lenient,
+    repair_graph,
+    strictness,
+    validate_directed_graph,
+    validate_edge_list,
+    validate_symmetrization_output,
+    validate_undirected_graph,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -162,6 +184,7 @@ __all__ = [
     # pipeline
     "SymmetrizeClusterPipeline",
     "PipelineResult",
+    "PipelineWarning",
     "sweep_n_clusters",
     "sweep_threshold",
     "sweep_alpha_beta",
@@ -176,13 +199,34 @@ __all__ = [
     "guzmania_motif",
     "save_dataset",
     "load_dataset",
+    "DegenerateCase",
+    "degenerate_corpus",
+    "degenerate_case",
+    # validation
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_directed_graph",
+    "validate_undirected_graph",
+    "validate_symmetrization_output",
+    "validate_edge_list",
+    "repair_graph",
+    "strictness",
+    "lenient",
     # exceptions
     "ReproError",
     "GraphError",
     "GraphFormatError",
+    "ValidationError",
     "SymmetrizationError",
     "ClusteringError",
     "ConvergenceError",
     "EvaluationError",
     "DatasetError",
+    "PipelineError",
+    # warnings
+    "ReproWarning",
+    "ValidationWarning",
+    "DegenerateGraphWarning",
+    "RepairWarning",
+    "ConvergenceWarning",
 ]

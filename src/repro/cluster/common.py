@@ -161,10 +161,29 @@ class GraphClusterer(abc.ABC):
     def cluster(
         self, graph: UndirectedGraph, n_clusters: int | None = None
     ) -> Clustering:
-        """Cluster ``graph`` into (approximately) ``n_clusters`` parts."""
+        """Cluster ``graph`` into (approximately) ``n_clusters`` parts.
+
+        An edgeless graph short-circuits to the all-singletons
+        clustering (the only consistent answer) with a
+        :class:`~repro.exceptions.DegenerateGraphWarning` rather than
+        feeding an all-zero matrix into algorithm internals.
+        """
+        import warnings
+
+        from repro.exceptions import DegenerateGraphWarning
         from repro.perf.stopwatch import Stopwatch
 
         _check_input(graph, n_clusters)
+        if graph.adjacency.nnz == 0:
+            warnings.warn(
+                DegenerateGraphWarning(
+                    f"clusterer {self.name!r} got a graph with no "
+                    "edges; every node becomes a singleton cluster",
+                    code="edgeless_clustering",
+                ),
+                stacklevel=2,
+            )
+            return Clustering(np.arange(graph.n_nodes))
         with Stopwatch(f"cluster:{self.name}") as sw:
             result = self._cluster(graph, n_clusters)
             sw.count(

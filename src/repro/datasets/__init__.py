@@ -10,6 +10,11 @@ for the substitution rationale, and :mod:`repro.datasets.motifs` for
 the Figure-1 / Guzmania case-study graphs.
 """
 
+from repro.datasets.degenerate import (
+    DegenerateCase,
+    degenerate_case,
+    degenerate_corpus,
+)
 from repro.datasets.motifs import guzmania_motif
 from repro.datasets.storage import load_dataset, save_dataset
 from repro.datasets.synthetic import (
@@ -29,4 +34,7 @@ __all__ = [
     "guzmania_motif",
     "save_dataset",
     "load_dataset",
+    "DegenerateCase",
+    "degenerate_corpus",
+    "degenerate_case",
 ]

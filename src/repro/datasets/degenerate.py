@@ -1,0 +1,256 @@
+"""A corpus of pathological directed graphs for fault injection.
+
+Every case here is a shape the real datasets of the paper actually
+contain — dangling pages in Wikipedia, isolated authors in Cora,
+hub-dominated stars in the Mislove et al. social networks — or a
+malformed-weight condition that sneaks past naive parsers (``nan``
+parses via ``float()``). The fault-injection suite
+(``tests/test_fault_injection.py``) sweeps this corpus through every
+symmetrization x pruning x clusterer combination and asserts that each
+run either raises a typed :class:`~repro.exceptions.ReproError`, or
+repairs-with-warnings into a valid clustering — never a bare
+scipy/numpy traceback and never a silent all-zero symmetrization.
+
+Cases with malformed weights are constructed with ``validate=False``,
+exactly the way a buggy caller or a corrupted cache file would smuggle
+them past the constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.digraph import DirectedGraph
+
+__all__ = ["DegenerateCase", "degenerate_corpus", "degenerate_case"]
+
+
+@dataclass(frozen=True)
+class DegenerateCase:
+    """One adversarial input with metadata for the harness.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier, usable as a pytest parameter id.
+    description:
+        What is pathological about the graph.
+    make:
+        Zero-argument factory returning a fresh
+        :class:`~repro.graph.DirectedGraph` (malformed cases build
+        with ``validate=False``).
+    malformed:
+        True when the *weights* are invalid (NaN/inf/negative) — the
+        cases strict mode must reject and lenient mode must repair.
+    tie_threshold:
+        For the near-threshold-tie case: a prune threshold that some
+        degree-discounted similarity ties *exactly*; ``None``
+        elsewhere.
+    """
+
+    name: str
+    description: str
+    make: Callable[[], DirectedGraph] = field(compare=False)
+    malformed: bool = False
+    tie_threshold: float | None = None
+
+    def build(self) -> DirectedGraph:
+        """A fresh instance of the pathological graph."""
+        return self.make()
+
+
+def _matrix_graph(rows, cols, vals, n) -> DirectedGraph:
+    adj = sp.coo_array(
+        (np.asarray(vals, dtype=np.float64), (rows, cols)), shape=(n, n)
+    ).tocsr()
+    return DirectedGraph(adj, validate=False)
+
+
+def _empty() -> DirectedGraph:
+    return DirectedGraph.empty(0)
+
+
+def _single_node() -> DirectedGraph:
+    return DirectedGraph.empty(1)
+
+
+def _single_self_loop() -> DirectedGraph:
+    return DirectedGraph([[1.0]], validate=False)
+
+
+def _all_dangling() -> DirectedGraph:
+    # Every node has out-degree (and in-degree) zero: P = 0 and the
+    # random-walk symmetrization is identically zero.
+    return DirectedGraph.empty(8)
+
+
+def _self_loop_only() -> DirectedGraph:
+    n = 6
+    return _matrix_graph(range(n), range(n), np.ones(n), n)
+
+
+def _star_hub_out() -> DirectedGraph:
+    # Hub 0 points at 9 leaves; every leaf is dangling.
+    edges = [(0, i) for i in range(1, 10)]
+    return DirectedGraph.from_edges(edges, n_nodes=10)
+
+
+def _star_hub_in() -> DirectedGraph:
+    # 9 leaves all point at hub 0; the hub is dangling.
+    edges = [(i, 0) for i in range(1, 10)]
+    return DirectedGraph.from_edges(edges, n_nodes=10)
+
+
+def _duplicate_heavy() -> DirectedGraph:
+    # Every edge of a small two-fan motif repeated five times; CSR
+    # construction sums duplicates, quintupling every weight.
+    base = [(0, 2), (1, 2), (3, 5), (4, 5), (2, 5)]
+    return DirectedGraph.from_edges(base * 5, n_nodes=6)
+
+
+def _nan_weight() -> DirectedGraph:
+    return _matrix_graph(
+        [0, 1, 2, 3], [1, 2, 3, 0], [1.0, np.nan, 1.0, 1.0], 4
+    )
+
+
+def _inf_weight() -> DirectedGraph:
+    return _matrix_graph(
+        [0, 1, 2, 3], [1, 2, 3, 0], [1.0, np.inf, 1.0, 1.0], 4
+    )
+
+
+def _negative_weight() -> DirectedGraph:
+    return _matrix_graph(
+        [0, 1, 2, 3], [1, 2, 3, 0], [1.0, -2.0, 1.0, 1.0], 4
+    )
+
+
+def _disconnected_with_singletons() -> DirectedGraph:
+    # Two directed triangles plus four fully isolated vertices.
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+    return DirectedGraph.from_edges(edges, n_nodes=10)
+
+
+def _near_threshold_tie() -> DirectedGraph:
+    # Nodes 0 and 1 both (and only) point at node 2, so with
+    # alpha = beta = 0.5 their degree-discounted similarity is exactly
+    # d_in(2)^-1/2 = 2^-0.5 — tie the prune threshold at that value and
+    # the pair must survive in both the exact and the pruned path.
+    edges = [(0, 2), (1, 2), (3, 5), (4, 5)]
+    return DirectedGraph.from_edges(edges, n_nodes=6)
+
+
+def _reciprocal_pair() -> DirectedGraph:
+    # A single 2-cycle: the smallest strongly-connected structure,
+    # with every other similarity empty.
+    return DirectedGraph.from_edges([(0, 1), (1, 0)], n_nodes=2)
+
+
+_CORPUS: tuple[DegenerateCase, ...] = (
+    DegenerateCase(
+        "empty",
+        "zero nodes, zero edges",
+        _empty,
+    ),
+    DegenerateCase(
+        "single_node",
+        "one node, no edges",
+        _single_node,
+    ),
+    DegenerateCase(
+        "single_self_loop",
+        "one node whose only edge is a self-loop",
+        _single_self_loop,
+    ),
+    DegenerateCase(
+        "all_dangling",
+        "8 nodes, no edges: every node dangling, P = 0",
+        _all_dangling,
+    ),
+    DegenerateCase(
+        "self_loop_only",
+        "6 nodes whose only edges are self-loops",
+        _self_loop_only,
+    ),
+    DegenerateCase(
+        "star_hub_out",
+        "hub points at 9 dangling leaves",
+        _star_hub_out,
+    ),
+    DegenerateCase(
+        "star_hub_in",
+        "9 leaves point at one dangling hub",
+        _star_hub_in,
+    ),
+    DegenerateCase(
+        "duplicate_heavy",
+        "every edge appears five times (weights sum)",
+        _duplicate_heavy,
+    ),
+    DegenerateCase(
+        "nan_weight",
+        "one edge weight is NaN (validate=False construction)",
+        _nan_weight,
+        malformed=True,
+    ),
+    DegenerateCase(
+        "inf_weight",
+        "one edge weight is +inf",
+        _inf_weight,
+        malformed=True,
+    ),
+    DegenerateCase(
+        "negative_weight",
+        "one edge weight is negative",
+        _negative_weight,
+        malformed=True,
+    ),
+    DegenerateCase(
+        "disconnected_with_singletons",
+        "two directed 3-cycles plus four isolated vertices",
+        _disconnected_with_singletons,
+    ),
+    DegenerateCase(
+        "near_threshold_tie",
+        "a degree-discounted similarity ties the prune threshold "
+        "exactly (2^-0.5)",
+        _near_threshold_tie,
+        tie_threshold=float(2.0 ** -0.5),
+    ),
+    DegenerateCase(
+        "reciprocal_pair",
+        "a single 2-cycle between two nodes",
+        _reciprocal_pair,
+    ),
+)
+
+
+def degenerate_corpus(
+    include_malformed: bool = True,
+) -> list[DegenerateCase]:
+    """The full corpus of pathological graphs (fresh copies).
+
+    Pass ``include_malformed=False`` to keep only structurally
+    degenerate but well-formed graphs (finite non-negative weights) —
+    the set that must flow through every symmetrization without typed
+    errors.
+    """
+    return [
+        case
+        for case in _CORPUS
+        if include_malformed or not case.malformed
+    ]
+
+
+def degenerate_case(name: str) -> DegenerateCase:
+    """Look up one corpus case by name."""
+    for case in _CORPUS:
+        if case.name == name:
+            return case
+    known = ", ".join(c.name for c in _CORPUS)
+    raise KeyError(f"unknown degenerate case {name!r}; known: {known}")

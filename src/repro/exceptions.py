@@ -1,9 +1,16 @@
-"""Exception hierarchy for the :mod:`repro` library.
+"""Exception and warning hierarchy for the :mod:`repro` library.
 
 All errors raised intentionally by this library derive from
 :class:`ReproError`, so callers can catch library-level failures with a
 single ``except ReproError`` clause while letting programming errors
 (``TypeError`` from misuse of numpy, etc.) propagate.
+
+Warnings emitted by the library — the *lenient* channel of the
+validation subsystem (:mod:`repro.validate`) — derive from
+:class:`ReproWarning` so they can be filtered, promoted to errors with
+``warnings.simplefilter("error", ReproWarning)``, or collected by the
+pipeline's structured warnings channel without touching third-party
+warnings.
 """
 
 from __future__ import annotations
@@ -12,11 +19,18 @@ __all__ = [
     "ReproError",
     "GraphError",
     "GraphFormatError",
+    "ValidationError",
     "SymmetrizationError",
     "ClusteringError",
     "ConvergenceError",
     "EvaluationError",
     "DatasetError",
+    "PipelineError",
+    "ReproWarning",
+    "ValidationWarning",
+    "DegenerateGraphWarning",
+    "RepairWarning",
+    "ConvergenceWarning",
 ]
 
 
@@ -30,6 +44,18 @@ class GraphError(ReproError):
 
 class GraphFormatError(GraphError):
     """A graph file could not be parsed (bad edge list, bad METIS header)."""
+
+
+class ValidationError(GraphError):
+    """A graph failed the invariant checks of :mod:`repro.validate`.
+
+    Carries the offending :class:`repro.validate.ValidationReport` on
+    the ``report`` attribute when raised by the validation subsystem.
+    """
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class SymmetrizationError(ReproError):
@@ -50,3 +76,56 @@ class EvaluationError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator was given unsatisfiable parameters."""
+
+
+class PipelineError(ReproError):
+    """The symmetrize-cluster pipeline was misconfigured or could not
+    recover from a degenerate input, even in lenient mode."""
+
+
+# ---------------------------------------------------------------------------
+# Warnings (the lenient channel)
+# ---------------------------------------------------------------------------
+
+
+class ReproWarning(UserWarning):
+    """Base class for all warnings emitted by the repro library.
+
+    Subclasses carry a machine-readable ``code`` so the pipeline's
+    structured warnings channel can aggregate them without parsing
+    messages.
+    """
+
+    #: Machine-readable identifier, e.g. ``"all_dangling"``.
+    code: str = "generic"
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+class ValidationWarning(ReproWarning):
+    """A non-fatal invariant violation (dangling nodes, self-loops...)."""
+
+    code = "validation"
+
+
+class DegenerateGraphWarning(ReproWarning):
+    """A stage received or produced a degenerate graph (e.g. the
+    all-dangling random-walk case) and continued in lenient mode."""
+
+    code = "degenerate"
+
+
+class RepairWarning(ReproWarning):
+    """A malformed input was repaired (entries dropped or clamped)."""
+
+    code = "repaired"
+
+
+class ConvergenceWarning(ReproWarning):
+    """An iterative method stopped short of its tolerance and returned
+    its best iterate instead of raising :class:`ConvergenceError`."""
+
+    code = "no_convergence"

@@ -58,8 +58,12 @@ class DirectedGraph:
         Optional sequence of ``n`` hashable names (usually strings) used
         in reports. Defaults to ``None`` (integer indices are used).
     validate:
-        If true (default), reject non-square matrices and negative
-        weights at construction time.
+        Validation level. ``True`` (default, same as ``"basic"``)
+        rejects non-square matrices, negative and non-finite weights;
+        ``"full"`` additionally emits
+        :class:`~repro.exceptions.ValidationWarning` for structural
+        oddities (self-loops, dangling and isolated nodes); ``False``
+        (same as ``"none"``) skips all checks.
 
     Examples
     --------
@@ -76,18 +80,19 @@ class DirectedGraph:
         self,
         adjacency: object,
         node_names: Sequence[object] | None = None,
-        validate: bool = True,
+        validate: bool | str = True,
     ) -> None:
+        from repro.validate.invariants import (
+            coerce_level,
+            validate_directed_graph,
+        )
+
         csr = _as_csr(adjacency)
-        if validate:
-            if csr.shape[0] != csr.shape[1]:
-                raise GraphError(
-                    f"adjacency must be square, got shape {csr.shape}"
-                )
-            if csr.nnz and csr.data.min() < 0:
-                raise GraphError("edge weights must be non-negative")
-            if csr.nnz and not np.all(np.isfinite(csr.data)):
-                raise GraphError("edge weights must be finite")
+        level = coerce_level(validate)
+        if level != "none":
+            report = validate_directed_graph(csr, level=level)
+            report.raise_errors()
+            report.emit_warnings(stacklevel=3)
         self._adj = csr
         if node_names is not None:
             names = list(node_names)

@@ -13,12 +13,14 @@ Three formats are supported:
 from __future__ import annotations
 
 import json
+import math
+import warnings
 from pathlib import Path
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import GraphFormatError
+from repro.exceptions import GraphFormatError, ValidationWarning
 from repro.graph.digraph import DirectedGraph
 from repro.graph.ugraph import UndirectedGraph
 
@@ -41,10 +43,17 @@ def read_edge_list(
     """Read a whitespace-separated edge list.
 
     Each non-comment line is ``src dst`` or ``src dst weight`` with
-    integer node ids. Returns a :class:`DirectedGraph` unless
-    ``directed=False``.
+    non-negative integer node ids and finite weights. Returns a
+    :class:`DirectedGraph` unless ``directed=False``. Malformed lines
+    — including negative node ids and ``nan``/``inf`` weights, which
+    ``int()``/``float()`` happily parse — raise
+    :class:`~repro.exceptions.GraphFormatError` naming the file and
+    line number. Duplicate edges are legal (weights sum) but reported
+    with a :class:`~repro.exceptions.ValidationWarning`.
     """
     edges: list[tuple[int, int, float]] = []
+    seen: set[tuple[int, int]] = set()
+    n_duplicates = 0
     path = Path(path)
     with path.open() as f:
         for lineno, line in enumerate(f, start=1):
@@ -61,9 +70,31 @@ def read_edge_list(
                 weight = float(parts[2]) if len(parts) == 3 else 1.0
             except ValueError as exc:
                 raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+            if src < 0 or dst < 0:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: negative node id in edge "
+                    f"({src}, {dst}); node ids must be >= 0"
+                )
+            if not math.isfinite(weight):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: non-finite edge weight "
+                    f"{parts[2]!r}; weights must be finite numbers"
+                )
+            if (src, dst) in seen:
+                n_duplicates += 1
+            seen.add((src, dst))
             edges.append((src, dst, weight))
     if not edges and n_nodes is None:
         raise GraphFormatError(f"{path}: no edges and no n_nodes given")
+    if n_duplicates:
+        warnings.warn(
+            ValidationWarning(
+                f"{path}: {n_duplicates} duplicate edge line(s); "
+                "their weights are summed",
+                code="duplicate_edges",
+            ),
+            stacklevel=2,
+        )
     cls = DirectedGraph if directed else UndirectedGraph
     return cls.from_edges(edges, n_nodes=n_nodes)
 

@@ -32,8 +32,12 @@ class UndirectedGraph:
     node_names:
         Optional node names carried over from the directed graph.
     validate:
-        If true (default), check squareness, non-negativity and symmetry
-        (up to a small numerical tolerance).
+        Validation level. ``True`` (default, same as ``"basic"``)
+        checks squareness, finiteness, non-negativity and symmetry
+        (up to a small numerical tolerance); ``"full"`` additionally
+        emits :class:`~repro.exceptions.ValidationWarning` for
+        self-loops and isolated nodes; ``False`` (``"none"``) skips
+        all checks.
 
     Notes
     -----
@@ -48,23 +52,19 @@ class UndirectedGraph:
         self,
         adjacency: object,
         node_names: Sequence[object] | None = None,
-        validate: bool = True,
+        validate: bool | str = True,
     ) -> None:
+        from repro.validate.invariants import (
+            coerce_level,
+            validate_undirected_graph,
+        )
+
         csr = _as_csr(adjacency)
-        if validate:
-            if csr.shape[0] != csr.shape[1]:
-                raise GraphError(
-                    f"adjacency must be square, got shape {csr.shape}"
-                )
-            if csr.nnz and csr.data.min() < 0:
-                raise GraphError("edge weights must be non-negative")
-            asym = abs(csr - csr.T)
-            max_asym = asym.max() if asym.nnz else 0.0
-            scale = csr.max() if csr.nnz else 1.0
-            if max_asym > 1e-8 * max(scale, 1.0):
-                raise GraphError(
-                    f"adjacency is not symmetric (max asymmetry {max_asym})"
-                )
+        level = coerce_level(validate)
+        if level != "none":
+            report = validate_undirected_graph(csr, level=level)
+            report.raise_errors()
+            report.emit_warnings(stacklevel=3)
             # Remove any numerical asymmetry so downstream algebra is exact.
             csr = ((csr + csr.T) * 0.5).tocsr()
             csr.sort_indices()

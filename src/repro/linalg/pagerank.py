@@ -11,10 +11,16 @@ are not strongly connected.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import ConvergenceError, GraphError
+from repro.exceptions import (
+    ConvergenceError,
+    ConvergenceWarning,
+    GraphError,
+)
 from repro.graph.digraph import DirectedGraph
 
 __all__ = ["transition_matrix", "pagerank", "stationary_distribution"]
@@ -46,11 +52,19 @@ def transition_matrix(
     return P.tocsr(), dangling
 
 
+#: Budget-exhausted runs whose final delta is within this factor of
+#: ``tol`` are treated as converged (with a ConvergenceWarning) rather
+#: than raised: the iterate is within round-off of the answer for every
+#: downstream use (symmetrization weights, spectral seeds).
+NEAR_CONVERGENCE_FACTOR = 10.0
+
+
 def pagerank(
     graph: DirectedGraph | sp.csr_array,
     teleport: float = 0.05,
     tol: float = 1e-10,
     max_iter: int = 1000,
+    raise_on_no_convergence: bool = True,
 ) -> np.ndarray:
     """PageRank vector by power iteration.
 
@@ -65,8 +79,16 @@ def pagerank(
     tol:
         L1 convergence tolerance between successive iterates.
     max_iter:
-        Iteration budget; :class:`~repro.exceptions.ConvergenceError`
-        is raised if it is exhausted.
+        Iteration budget. If it is exhausted with the last delta still
+        more than 10x ``tol`` away,
+        :class:`~repro.exceptions.ConvergenceError` is raised (the
+        message includes the achieved delta); a near-miss within 10x of
+        ``tol`` returns the iterate with a
+        :class:`~repro.exceptions.ConvergenceWarning` instead.
+    raise_on_no_convergence:
+        Escape hatch for lenient callers: with ``False`` the best
+        iterate is always returned (normalized), warning instead of
+        raising no matter how large the final delta is.
 
     Returns
     -------
@@ -81,6 +103,7 @@ def pagerank(
         return np.array([], dtype=np.float64)
     pi = np.full(n, 1.0 / n)
     damping = 1.0 - teleport
+    delta = np.inf
     PT = P.T.tocsr()  # iterate with column-access for speed
     for _ in range(max_iter):
         dangling_mass = pi[dangling].sum()
@@ -90,10 +113,22 @@ def pagerank(
         if delta < tol:
             pi /= pi.sum()
             return pi
-    raise ConvergenceError(
-        f"PageRank did not converge in {max_iter} iterations "
-        f"(last delta {delta:.3e})"
+    if raise_on_no_convergence and delta > NEAR_CONVERGENCE_FACTOR * tol:
+        raise ConvergenceError(
+            f"PageRank did not converge in {max_iter} iterations: "
+            f"achieved delta {delta:.3e} vs tol {tol:.3e}; pass "
+            "raise_on_no_convergence=False to accept the best iterate"
+        )
+    warnings.warn(
+        ConvergenceWarning(
+            f"PageRank stopped after {max_iter} iterations at delta "
+            f"{delta:.3e} (tol {tol:.3e}); returning the best iterate",
+            code="pagerank_no_convergence",
+        ),
+        stacklevel=2,
     )
+    pi /= pi.sum()
+    return pi
 
 
 def stationary_distribution(

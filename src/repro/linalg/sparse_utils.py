@@ -14,6 +14,7 @@ import scipy.sparse as sp
 from repro.exceptions import GraphError, SymmetrizationError
 
 __all__ = [
+    "TIE_RTOL",
     "row_normalize",
     "degree_scale",
     "degree_power",
@@ -21,6 +22,13 @@ __all__ = [
     "top_k_entries",
     "sample_rows_similarity",
 ]
+
+#: Relative tolerance for threshold comparisons: a value within
+#: ``threshold * TIE_RTOL`` below the threshold counts as a tie and is
+#: kept. Differently-ordered computations of the same mathematical
+#: similarity drift by a few ULPs; without the tolerance the exact and
+#: pruned all-pairs paths can disagree on edges that tie the threshold.
+TIE_RTOL = 1e-12
 
 
 def row_normalize(matrix: sp.csr_array) -> sp.csr_array:
@@ -80,6 +88,12 @@ def prune_matrix(
 ) -> sp.csr_array:
     """Drop entries with value strictly below ``threshold`` (§3.5).
 
+    Values within a relative tolerance of :data:`TIE_RTOL` below the
+    threshold count as ties and are kept, so float drift between
+    differently-ordered computations of the same similarity cannot
+    flip a keep/drop decision (the exact and §3.6 pruned paths must
+    agree edge-for-edge).
+
     A threshold of 0 only removes explicit zeros. With
     ``keep_diagonal=True`` diagonal entries survive regardless of value
     (useful when self-similarities carry bookkeeping information).
@@ -91,7 +105,7 @@ def prune_matrix(
         csr.eliminate_zeros()
         return csr
     coo = csr.tocoo()
-    keep = coo.data >= threshold
+    keep = coo.data >= threshold * (1.0 - TIE_RTOL)
     if keep_diagonal:
         keep |= coo.row == coo.col
     pruned = sp.coo_array(

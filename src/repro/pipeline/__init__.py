@@ -10,7 +10,12 @@
   for the benchmark harness.
 """
 
-from repro.pipeline.pipeline import PipelineResult, SymmetrizeClusterPipeline
+from repro.pipeline.pipeline import (
+    PIPELINE_MODES,
+    PipelineResult,
+    PipelineWarning,
+    SymmetrizeClusterPipeline,
+)
 from repro.pipeline.report import format_series, format_table
 from repro.pipeline.sweep import (
     SweepPoint,
@@ -23,6 +28,8 @@ from repro.pipeline.tuning import TuningPoint, tune_threshold
 __all__ = [
     "SymmetrizeClusterPipeline",
     "PipelineResult",
+    "PipelineWarning",
+    "PIPELINE_MODES",
     "SweepPoint",
     "sweep_n_clusters",
     "sweep_threshold",

@@ -6,18 +6,38 @@ stage timings separately, because the paper's speed claims concern the
 *clustering* time on differently-symmetrized graphs (Figures 8–9,
 Table 3) — degree-discounted graphs cluster 2–5x faster because they
 have no hubs.
+
+Robustness modes
+----------------
+Real inputs arrive with dangling nodes, self-loops, duplicate edges
+and occasionally malformed weights. The pipeline therefore runs in one
+of two modes (see ``docs/robustness.md``):
+
+- ``mode="strict"`` (default): inputs are validated up front and any
+  error-severity violation raises a typed
+  :class:`~repro.exceptions.ValidationError`; degenerate intermediate
+  states (e.g. the all-dangling random-walk case) raise
+  :class:`~repro.exceptions.SymmetrizationError`.
+- ``mode="lenient"``: malformed weights are repaired (dropped) and
+  degenerate states downgraded to warnings; every
+  :class:`~repro.exceptions.ReproWarning` raised anywhere in the run
+  is captured into the structured ``warnings`` channel of the
+  :class:`PipelineResult` instead of reaching the user's warning
+  filters.
 """
 
 from __future__ import annotations
 
+import contextlib
 import time
+import warnings as _warnings
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from repro.cluster.common import Clustering, GraphClusterer, get_clusterer
 from repro.eval.fmeasure import average_f_score
 from repro.eval.groundtruth import GroundTruth
-from repro.exceptions import ClusteringError
+from repro.exceptions import ClusteringError, PipelineError, ReproWarning
 from repro.graph.digraph import DirectedGraph
 from repro.graph.ugraph import UndirectedGraph
 from repro.perf.stopwatch import (
@@ -27,8 +47,44 @@ from repro.perf.stopwatch import (
     recording,
 )
 from repro.symmetrize.base import Symmetrization, get_symmetrization
+from repro.validate.invariants import (
+    repair_graph,
+    strictness,
+    validate_directed_graph,
+    validate_undirected_graph,
+)
 
-__all__ = ["SymmetrizeClusterPipeline", "PipelineResult"]
+__all__ = [
+    "SymmetrizeClusterPipeline",
+    "PipelineResult",
+    "PipelineWarning",
+    "PIPELINE_MODES",
+]
+
+#: Recognized pipeline robustness modes.
+PIPELINE_MODES = ("strict", "lenient")
+
+
+@dataclass(frozen=True)
+class PipelineWarning:
+    """One structured warning captured during a pipeline run.
+
+    Attributes
+    ----------
+    stage:
+        Which pipeline stage emitted it: ``"validate"``,
+        ``"symmetrize"`` or ``"cluster"``.
+    code:
+        Machine-readable identifier from the originating
+        :class:`~repro.exceptions.ReproWarning` (e.g.
+        ``"all_dangling"``, ``"repaired_weights"``).
+    message:
+        Human-readable description.
+    """
+
+    stage: str
+    code: str
+    message: str
 
 
 @dataclass(frozen=True)
@@ -55,6 +111,11 @@ class PipelineResult:
         run happened inside an ambient :func:`repro.perf.recording`
         block the shared recorder accumulates across runs and this
         snapshot reflects the totals so far.
+    warnings:
+        Structured :class:`PipelineWarning` records for every
+        :class:`~repro.exceptions.ReproWarning` the run emitted —
+        repairs applied, degenerate structure detected, convergence
+        shortfalls. Empty on clean inputs.
     """
 
     clustering: Clustering
@@ -63,11 +124,46 @@ class PipelineResult:
     cluster_seconds: float
     average_f: float | None
     stages: dict[str, Any] | None = field(default=None, compare=False)
+    warnings: tuple[PipelineWarning, ...] = field(
+        default=(), compare=False
+    )
 
     @property
     def total_seconds(self) -> float:
         """Sum of both stage durations."""
         return self.symmetrize_seconds + self.cluster_seconds
+
+    def warning_codes(self) -> tuple[str, ...]:
+        """The distinct warning codes, in order of first appearance."""
+        seen: list[str] = []
+        for w in self.warnings:
+            if w.code not in seen:
+                seen.append(w.code)
+        return tuple(seen)
+
+
+@contextlib.contextmanager
+def _capture_stage(
+    stage: str, records: list[PipelineWarning]
+) -> Iterator[None]:
+    """Record every ReproWarning raised in the block as a structured
+    :class:`PipelineWarning`; re-emit third-party warnings untouched."""
+    with _warnings.catch_warnings(record=True) as caught:
+        _warnings.simplefilter("always")
+        yield
+    for item in caught:
+        if isinstance(item.message, ReproWarning):
+            records.append(
+                PipelineWarning(
+                    stage=stage,
+                    code=getattr(item.message, "code", "generic"),
+                    message=str(item.message),
+                )
+            )
+        else:
+            _warnings.warn_explicit(
+                item.message, item.category, item.filename, item.lineno
+            )
 
 
 class SymmetrizeClusterPipeline:
@@ -83,6 +179,11 @@ class SymmetrizeClusterPipeline:
         name.
     threshold:
         Prune threshold applied to the symmetrized matrix (§3.5).
+    mode:
+        ``"strict"`` (default) raises typed errors on malformed or
+        degenerate inputs; ``"lenient"`` repairs what it can, warns
+        about the rest, and records everything on
+        :attr:`PipelineResult.warnings`.
 
     Examples
     --------
@@ -100,6 +201,7 @@ class SymmetrizeClusterPipeline:
         symmetrization: str | Symmetrization,
         clusterer: str | GraphClusterer,
         threshold: float = 0.0,
+        mode: str = "strict",
     ) -> None:
         if isinstance(symmetrization, str):
             symmetrization = get_symmetrization(symmetrization)
@@ -113,13 +215,50 @@ class SymmetrizeClusterPipeline:
             raise ClusteringError(
                 "clusterer must be a name or GraphClusterer"
             )
+        if mode not in PIPELINE_MODES:
+            raise PipelineError(
+                f"unknown pipeline mode {mode!r}; "
+                f"expected one of {PIPELINE_MODES}"
+            )
         self.symmetrization = symmetrization
         self.clusterer = clusterer
         self.threshold = float(threshold)
+        self.mode = mode
 
     def symmetrize(self, graph: DirectedGraph) -> UndirectedGraph:
         """Run stage 1 only."""
         return self.symmetrization.apply(graph, threshold=self.threshold)
+
+    def _validated_input(
+        self, graph: DirectedGraph, records: list[PipelineWarning]
+    ) -> DirectedGraph:
+        """Validate (and in lenient mode repair) the directed input."""
+        with _capture_stage("validate", records):
+            report = validate_directed_graph(graph.adjacency, level="full")
+            if not report.ok:
+                if self.mode == "strict":
+                    report.raise_errors()
+                graph, repair_report = repair_graph(graph)
+                repair_report.emit_warnings()
+            report.emit_warnings()
+        return graph
+
+    def _validated_symmetrized(
+        self,
+        symmetrized: UndirectedGraph,
+        records: list[PipelineWarning],
+    ) -> UndirectedGraph:
+        """Validate a caller-supplied stage-1 result before stage 2."""
+        with _capture_stage("validate", records):
+            report = validate_undirected_graph(
+                symmetrized.adjacency, level="basic"
+            )
+            if not report.ok:
+                if self.mode == "strict":
+                    report.raise_errors()
+                symmetrized, repair_report = repair_graph(symmetrized)
+                repair_report.emit_warnings()
+        return symmetrized
 
     def run(
         self,
@@ -146,10 +285,13 @@ class SymmetrizeClusterPipeline:
         recorder = current_recorder()
         if recorder is None:
             recorder = PerfRecorder()
-        with recording(recorder):
+        records: list[PipelineWarning] = []
+        with strictness(self.mode == "strict"), recording(recorder):
+            graph = self._validated_input(graph, records)
             if symmetrized is None:
                 t0 = time.perf_counter()
-                symmetrized = self.symmetrize(graph)
+                with _capture_stage("symmetrize", records):
+                    symmetrized = self.symmetrize(graph)
                 t_sym = time.perf_counter() - t0
                 record_stage(
                     "pipeline:symmetrize",
@@ -158,9 +300,15 @@ class SymmetrizeClusterPipeline:
                     nnz_out=symmetrized.adjacency.nnz,
                 )
             else:
+                symmetrized = self._validated_symmetrized(
+                    symmetrized, records
+                )
                 t_sym = 0.0
             t0 = time.perf_counter()
-            clustering = self.clusterer.cluster(symmetrized, n_clusters)
+            with _capture_stage("cluster", records):
+                clustering = self.clusterer.cluster(
+                    symmetrized, n_clusters
+                )
             t_cluster = time.perf_counter() - t0
             record_stage(
                 "pipeline:cluster",
@@ -180,10 +328,12 @@ class SymmetrizeClusterPipeline:
             cluster_seconds=t_cluster,
             average_f=avg_f,
             stages=recorder.as_dict(),
+            warnings=tuple(records),
         )
 
     def __repr__(self) -> str:
         return (
             f"SymmetrizeClusterPipeline({self.symmetrization!r}, "
-            f"{self.clusterer!r}, threshold={self.threshold})"
+            f"{self.clusterer!r}, threshold={self.threshold}, "
+            f"mode={self.mode!r})"
         )

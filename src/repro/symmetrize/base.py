@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import SymmetrizationError
@@ -17,6 +18,12 @@ from repro.graph.digraph import DirectedGraph
 from repro.graph.ugraph import UndirectedGraph
 from repro.linalg.sparse_utils import prune_matrix
 from repro.perf.stopwatch import Stopwatch
+from repro.validate.invariants import (
+    degenerate_event,
+    repair_graph,
+    repair_matrix,
+    validate_directed_graph,
+)
 
 __all__ = [
     "Symmetrization",
@@ -117,8 +124,11 @@ class Symmetrization(abc.ABC):
             raise SymmetrizationError(
                 f"expected a DirectedGraph, got {type(graph).__name__}"
             )
+        graph = self._validated_input(graph)
         with Stopwatch(f"symmetrize:{self.name}") as sw:
-            matrix = self.compute_matrix(graph).tocsr()
+            matrix = self._validated_output(
+                self.compute_matrix(graph).tocsr(), graph
+            )
             nnz_raw = matrix.nnz
             if threshold > 0:
                 matrix = prune_matrix(matrix, threshold)
@@ -138,6 +148,59 @@ class Symmetrization(abc.ABC):
         return UndirectedGraph(
             matrix, node_names=graph.node_names, validate=False
         )
+
+    def _validated_input(self, graph: DirectedGraph) -> DirectedGraph:
+        """Reject (strict) or repair (lenient) malformed input weights.
+
+        Graphs built through the validated constructors never trip
+        this; it protects against ``validate=False`` construction and
+        matrices mutated after the fact.
+        """
+        report = validate_directed_graph(graph.adjacency, level="basic")
+        if report.ok:
+            return graph
+        degenerate_event(
+            f"symmetrization {self.name!r} got an invalid input graph: "
+            + report.summary(),
+            SymmetrizationError,
+            code="invalid_input",
+        )
+        graph, repair_report = repair_graph(graph)
+        repair_report.emit_warnings(stacklevel=4)
+        return graph
+
+    def _validated_output(
+        self, matrix: sp.csr_array, graph: DirectedGraph
+    ) -> sp.csr_array:
+        """Enforce the output invariants of every symmetrization.
+
+        The similarity matrix must be finite and non-negative; an
+        all-zero matrix for an input that has edges means the method
+        silently collapsed (the random-walk P = 0 pathology).
+        """
+        bad_weights = matrix.nnz and not bool(
+            np.all(np.isfinite(matrix.data))
+        )
+        if not bad_weights and matrix.nnz:
+            bad_weights = bool((matrix.data < 0).any())
+        if bad_weights:
+            degenerate_event(
+                f"symmetrization {self.name!r} produced non-finite or "
+                "negative similarities",
+                SymmetrizationError,
+                code="invalid_output",
+            )
+            matrix, repair_report = repair_matrix(matrix)
+            repair_report.emit_warnings(stacklevel=4)
+        if graph.n_edges and matrix.nnz == 0:
+            degenerate_event(
+                f"symmetrization {self.name!r} produced an all-zero "
+                f"matrix for a graph with {graph.n_edges} edges; "
+                "clustering it would silently return singletons",
+                SymmetrizationError,
+                code="all_zero_output",
+            )
+        return matrix
 
     def __call__(
         self, graph: DirectedGraph, threshold: float = 0.0

@@ -31,10 +31,10 @@ import scipy.sparse as sp
 
 from repro.exceptions import SymmetrizationError
 from repro.graph.digraph import DirectedGraph
-from repro.linalg.sparse_utils import degree_power
+from repro.linalg.sparse_utils import TIE_RTOL, degree_power
 from repro.symmetrize.base import Symmetrization, register_symmetrization
 
-__all__ = ["DegreeDiscountedSymmetrization"]
+__all__ = ["DegreeDiscountedSymmetrization", "TIE_RTOL"]
 
 
 @register_symmetrization("degree_discounted")
@@ -191,10 +191,12 @@ class DegreeDiscountedSymmetrization(Symmetrization):
         has no symmetric square-root factorization) and a positive
         threshold. ``backend``/``block_size``/``n_jobs`` are forwarded
         to :func:`~repro.linalg.allpairs.thresholded_gram_matrix`.
-        Output matches ``apply(graph, threshold=threshold)`` up to
-        floating-point summation order: shared entries agree to
-        ~1 ULP, and pairs whose similarity ties the threshold exactly
-        may fall on either side.
+        Output matches ``apply(graph, threshold=threshold)``
+        edge-for-edge: shared entries agree to ~1 ULP, and both the
+        candidate search and the final filter use a relative tolerance
+        of ``1e-12`` so pairs whose similarity ties the threshold
+        exactly land on the *keep* side in both paths instead of
+        falling either way with summation order.
         """
         from repro.graph.ugraph import UndirectedGraph
         from repro.linalg.allpairs import (
@@ -212,8 +214,10 @@ class DegreeDiscountedSymmetrization(Symmetrization):
         # A pair reaching `threshold` in total has at least one term
         # >= threshold / n_terms, so searching each factor at that
         # per-term level yields a complete candidate set; exact totals
-        # are then verified per candidate pair.
-        per_term = threshold / len(factors)
+        # are then verified per candidate pair. The relative slack
+        # keeps exact-tie pairs (whose per-term dot product can round
+        # a hair below the bound) in the candidate set.
+        per_term = threshold / len(factors) * (1.0 - TIE_RTOL)
         candidates = None
         for Y in factors:
             found = thresholded_gram_matrix(
@@ -240,7 +244,10 @@ class DegreeDiscountedSymmetrization(Symmetrization):
                 values[sl] += np.asarray(
                     Y[left[sl]].multiply(Y[right[sl]]).sum(axis=1)
                 ).ravel()
-        keep = values >= threshold
+        # Relative tolerance so threshold ties survive in this path
+        # exactly as they do in apply()'s prune_matrix cut, regardless
+        # of floating-point summation order.
+        keep = values >= threshold * (1.0 - TIE_RTOL)
         add_counters(
             "apply_pruned:degree_discounted",
             candidate_pairs=left.size,

@@ -31,6 +31,7 @@ from repro.exceptions import SymmetrizationError
 from repro.graph.digraph import DirectedGraph
 from repro.linalg.pagerank import pagerank, transition_matrix
 from repro.symmetrize.base import Symmetrization, register_symmetrization
+from repro.validate.invariants import degenerate_event, is_strict
 
 __all__ = ["RandomWalkSymmetrization"]
 
@@ -72,12 +73,27 @@ class RandomWalkSymmetrization(Symmetrization):
         self.scale = scale
 
     def compute_matrix(self, graph: DirectedGraph) -> sp.csr_array:
+        if graph.n_nodes and graph.n_edges == 0:
+            # P = 0: the walk has nowhere to go, U would be all-zero
+            # and downstream clusterers would silently return
+            # singletons. Strict contexts get a typed error; lenient
+            # ones a warning plus the (honest) zero matrix.
+            degenerate_event(
+                "random-walk symmetrization of an all-dangling graph "
+                f"({graph.n_nodes} nodes, 0 edges): the transition "
+                "matrix is identically zero",
+                SymmetrizationError,
+                code="all_dangling",
+            )
+            n = graph.n_nodes
+            return sp.csr_array((n, n), dtype=float)
         P, _ = transition_matrix(graph)
         pi = pagerank(
             graph,
             teleport=self.teleport,
             tol=self.tol,
             max_iter=self.max_iter,
+            raise_on_no_convergence=is_strict(),
         )
         Pi = sp.diags_array(pi).tocsr()
         U = (Pi @ P + P.T @ Pi) * 0.5

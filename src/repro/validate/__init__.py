@@ -1,0 +1,69 @@
+"""Input-validation and fault-hardening subsystem.
+
+The two-stage framework (symmetrize, then cluster) is only as reliable
+as its inputs. This package provides:
+
+- composable invariant checks returning structured
+  :class:`ValidationReport` objects (:mod:`repro.validate.invariants`),
+- the strict/lenient ambient context used by the hardened stages
+  (:func:`strictness`, :func:`lenient`, :func:`degenerate_event`), and
+- the lenient repair path (:func:`repair_graph`).
+
+See ``docs/robustness.md`` for the user-facing guide and
+:mod:`repro.datasets.degenerate` for the adversarial corpus the
+fault-injection tests sweep through this machinery.
+"""
+
+from repro.validate.invariants import (
+    VALIDATION_LEVELS,
+    ValidationIssue,
+    ValidationReport,
+    check_all_zero,
+    check_dangling_nodes,
+    check_finite_weights,
+    check_isolated_nodes,
+    check_non_negative_weights,
+    check_self_loops,
+    check_square,
+    check_symmetric,
+    check_zero_diagonal,
+    coerce_level,
+    degenerate_event,
+    is_strict,
+    lenient,
+    repair_event,
+    repair_graph,
+    repair_matrix,
+    strictness,
+    validate_directed_graph,
+    validate_edge_list,
+    validate_symmetrization_output,
+    validate_undirected_graph,
+)
+
+__all__ = [
+    "ValidationIssue",
+    "ValidationReport",
+    "check_square",
+    "check_finite_weights",
+    "check_non_negative_weights",
+    "check_self_loops",
+    "check_dangling_nodes",
+    "check_isolated_nodes",
+    "check_symmetric",
+    "check_zero_diagonal",
+    "check_all_zero",
+    "validate_directed_graph",
+    "validate_undirected_graph",
+    "validate_symmetrization_output",
+    "validate_edge_list",
+    "repair_matrix",
+    "repair_graph",
+    "strictness",
+    "lenient",
+    "is_strict",
+    "degenerate_event",
+    "repair_event",
+    "coerce_level",
+    "VALIDATION_LEVELS",
+]

@@ -1,8 +1,10 @@
 """Unit tests for :mod:`repro.graph.io`."""
 
+import warnings
+
 import pytest
 
-from repro.exceptions import GraphFormatError
+from repro.exceptions import GraphFormatError, ValidationWarning
 from repro.graph import DirectedGraph, UndirectedGraph
 from repro.graph.io import (
     read_edge_list,
@@ -71,6 +73,47 @@ class TestEdgeList:
         g = read_edge_list(path, n_nodes=3)
         assert g.n_nodes == 3
         assert g.n_edges == 0
+
+    def test_negative_node_id_names_file_and_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n-2 3\n")
+        with pytest.raises(GraphFormatError, match="negative node id") as e:
+            read_edge_list(path)
+        assert f"{path}:2" in str(e.value)
+
+    def test_nan_weight_rejected(self, tmp_path):
+        # float("nan") parses fine, so the reader must check explicitly.
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 nan\n")
+        with pytest.raises(GraphFormatError, match="non-finite") as e:
+            read_edge_list(path)
+        assert f"{path}:1" in str(e.value)
+
+    def test_inf_weight_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1.5\n1 2 inf\n")
+        with pytest.raises(GraphFormatError, match="non-finite") as e:
+            read_edge_list(path)
+        assert f"{path}:2" in str(e.value)
+
+    def test_duplicate_edges_warn_once(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n0 1\n1 2\n1 2\n")
+        with pytest.warns(ValidationWarning, match="duplicate") as caught:
+            g = read_edge_list(path)
+        dupes = [
+            w for w in caught if isinstance(w.message, ValidationWarning)
+        ]
+        assert len(dupes) == 1
+        assert dupes[0].message.code == "duplicate_edges"
+        assert g.n_edges == 2  # weights summed, structure deduplicated
+
+    def test_clean_file_stays_silent(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ValidationWarning)
+            read_edge_list(path)
 
 
 class TestMetis:

@@ -9,9 +9,11 @@ invariants — on randomly generated directed graphs.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.cluster.coarsen import build_hierarchy, contract, heavy_edge_matching
@@ -20,8 +22,10 @@ from repro.eval.fmeasure import average_f_score
 from repro.eval.groundtruth import GroundTruth
 from repro.eval.significance import sign_test
 from repro.graph import DirectedGraph, UndirectedGraph
+from repro.graph.generators import power_law_digraph
 from repro.linalg.sparse_utils import prune_matrix
 from repro.symmetrize import get_symmetrization
+from repro.validate import lenient
 
 # ---------------------------------------------------------------------------
 # Strategies
@@ -67,11 +71,72 @@ def undirected_graphs(draw, min_nodes=2, max_nodes=12):
     return UndirectedGraph.from_edges(edges, n_nodes=n)
 
 
+@st.composite
+def power_law_digraphs(draw, min_nodes=10, max_nodes=40):
+    """A random power-law digraph — the degree structure the paper's
+    datasets share (hubs, dangling tails, reciprocity)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 2**32 - 1))
+    return power_law_digraph(n, np.random.default_rng(seed))
+
+
 SYM_NAMES = ["naive", "bibliometric", "degree_discounted"]
+
+#: All four paper symmetrizations; random_walk runs pagerank so it is
+#: kept out of the tiny-graph strategies above but exercised on the
+#: power-law graphs below.
+ALL_SYM_NAMES = SYM_NAMES + ["random_walk"]
 
 # ---------------------------------------------------------------------------
 # Symmetrization invariants
 # ---------------------------------------------------------------------------
+
+
+@given(power_law_digraphs(), st.sampled_from(ALL_SYM_NAMES))
+@settings(max_examples=30, deadline=None)
+def test_symmetrization_contract_on_power_law(graph, name):
+    """Every symmetrization output on a power-law digraph is square,
+    symmetric, finite, non-negative and zero-diagonal — the
+    validate_symmetrization_output contract."""
+    assume(graph.n_edges > 0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        u = get_symmetrization(name).apply(graph)
+    adj = u.adjacency
+    assert adj.shape == (graph.n_nodes, graph.n_nodes)
+    if adj.nnz:
+        assert np.all(np.isfinite(adj.data))
+        assert adj.data.min() >= 0.0
+        asym = abs(adj - adj.T)
+        assert (asym.max() if asym.nnz else 0.0) == 0.0
+        assert adj.diagonal().max() == 0.0
+
+
+@given(directed_graphs(), st.sampled_from(ALL_SYM_NAMES))
+@settings(max_examples=40, deadline=None)
+def test_lenient_apply_is_total(graph, name):
+    """In lenient mode no symmetrization raises on any random graph —
+    degenerate shapes downgrade to warnings."""
+    with lenient(), warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        u = get_symmetrization(name).apply(graph)
+    assert u.n_nodes == graph.n_nodes
+
+
+@given(directed_graphs(), st.floats(0.01, 1.0))
+@settings(max_examples=30, deadline=None)
+def test_degree_discounted_pruned_matches_exact(graph, threshold):
+    """The §3.6 pruned fast path agrees with the exact path
+    edge-for-edge at arbitrary thresholds."""
+    dd = get_symmetrization("degree_discounted")
+    exact = dd.apply(graph, threshold=threshold).adjacency
+    fast = dd.apply_pruned(graph, threshold=threshold).adjacency
+    assert exact.indptr.tolist() == fast.indptr.tolist()
+    assert exact.indices.tolist() == fast.indices.tolist()
+    if exact.nnz:
+        np.testing.assert_allclose(
+            fast.data, exact.data, rtol=1e-12, atol=0.0
+        )
 
 
 @given(directed_graphs(), st.sampled_from(SYM_NAMES))

@@ -1,0 +1,349 @@
+"""Unit tests for :mod:`repro.validate.invariants`."""
+
+import warnings
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import (
+    DegenerateGraphWarning,
+    GraphError,
+    RepairWarning,
+    SymmetrizationError,
+    ValidationError,
+    ValidationWarning,
+)
+from repro.graph import DirectedGraph, UndirectedGraph
+from repro.validate import (
+    ValidationIssue,
+    ValidationReport,
+    check_all_zero,
+    check_dangling_nodes,
+    check_finite_weights,
+    check_isolated_nodes,
+    check_non_negative_weights,
+    check_self_loops,
+    check_square,
+    check_symmetric,
+    check_zero_diagonal,
+    coerce_level,
+    degenerate_event,
+    is_strict,
+    lenient,
+    repair_graph,
+    repair_matrix,
+    strictness,
+    validate_directed_graph,
+    validate_edge_list,
+    validate_symmetrization_output,
+    validate_undirected_graph,
+)
+
+
+def _csr(rows, cols, vals, n):
+    return sp.coo_array(
+        (np.asarray(vals, dtype=float), (rows, cols)), shape=(n, n)
+    ).tocsr()
+
+
+class TestCoerceLevel:
+    def test_bools(self):
+        assert coerce_level(True) == "basic"
+        assert coerce_level(False) == "none"
+
+    def test_strings(self):
+        for level in ("none", "basic", "full"):
+            assert coerce_level(level) == level
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValidationError, match="validate must be"):
+            coerce_level("paranoid")
+
+
+class TestValidationIssue:
+    def test_rejects_bad_severity(self):
+        with pytest.raises(ValueError, match="severity"):
+            ValidationIssue("x", "fatal", "boom")
+
+    def test_frozen(self):
+        issue = ValidationIssue("x", "error", "boom")
+        with pytest.raises(AttributeError):
+            issue.code = "y"
+
+
+class TestValidationReport:
+    def test_empty_is_ok(self):
+        report = ValidationReport()
+        assert report.ok
+        assert bool(report)
+        assert report.summary() == "ok"
+        report.raise_errors()  # no-op
+
+    def test_severity_split(self):
+        report = ValidationReport(
+            (
+                ValidationIssue("a", "warning", "w"),
+                ValidationIssue("b", "error", "e"),
+            )
+        )
+        assert not report.ok
+        assert [i.code for i in report.errors] == ["b"]
+        assert [i.code for i in report.warnings] == ["a"]
+
+    def test_add_merges(self):
+        a = ValidationReport((ValidationIssue("a", "warning", "w"),))
+        b = ValidationReport((ValidationIssue("b", "error", "e"),))
+        merged = a + b
+        assert len(merged.issues) == 2
+        assert not merged.ok
+
+    def test_summary_orders_errors_first(self):
+        report = ValidationReport(
+            (
+                ValidationIssue("warn_code", "warning", "later"),
+                ValidationIssue("err_code", "error", "first"),
+            )
+        )
+        text = report.summary()
+        assert text.index("err_code") < text.index("warn_code")
+
+    def test_raise_errors_carries_report(self):
+        report = ValidationReport(
+            (ValidationIssue("bad", "error", "broken thing"),)
+        )
+        with pytest.raises(ValidationError, match="broken thing") as info:
+            report.raise_errors()
+        assert info.value.report is report
+
+    def test_raise_errors_custom_type(self):
+        report = ValidationReport((ValidationIssue("bad", "error", "x"),))
+        with pytest.raises(SymmetrizationError):
+            report.raise_errors(SymmetrizationError)
+
+    def test_emit_warnings_sets_codes(self):
+        report = ValidationReport(
+            (ValidationIssue("self_loops", "warning", "2 loops"),)
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report.emit_warnings()
+        assert len(caught) == 1
+        assert isinstance(caught[0].message, ValidationWarning)
+        assert caught[0].message.code == "self_loops"
+
+
+class TestMatrixChecks:
+    def test_square_ok_and_bad(self):
+        assert check_square(sp.csr_array((3, 3))) == []
+        issues = check_square(sp.csr_array((2, 3)))
+        assert issues[0].code == "non_square"
+        assert issues[0].severity == "error"
+
+    def test_finite_weights(self):
+        m = _csr([0, 1], [1, 2], [1.0, np.nan], 3)
+        (issue,) = check_finite_weights(m)
+        assert issue.code == "non_finite_weights"
+        assert issue.count == 1
+        assert check_finite_weights(_csr([0], [1], [1.0], 2)) == []
+
+    def test_non_negative_weights(self):
+        m = _csr([0, 1], [1, 2], [1.0, -3.0], 3)
+        (issue,) = check_non_negative_weights(m)
+        assert issue.code == "negative_weights"
+        assert issue.count == 1
+
+    def test_negative_check_ignores_nan(self):
+        # NaN < 0 comparisons must not blow up or miscount.
+        m = _csr([0], [1], [np.nan], 2)
+        assert check_non_negative_weights(m) == []
+
+    def test_self_loops(self):
+        m = _csr([0, 1], [0, 2], [1.0, 1.0], 3)
+        (issue,) = check_self_loops(m)
+        assert issue.code == "self_loops"
+        assert issue.severity == "warning"
+        assert 0 in issue.nodes
+
+    def test_dangling_and_isolated(self):
+        # Node 2 has no out-edges (dangling); node 3 has none at all.
+        m = _csr([0, 1], [1, 2], [1.0, 1.0], 4)
+        (dangling,) = check_dangling_nodes(m)
+        assert dangling.severity == "warning"
+        assert 2 in dangling.nodes and 3 in dangling.nodes
+        (isolated,) = check_isolated_nodes(m)
+        assert isolated.nodes == (3,)
+
+    def test_all_dangling_message(self):
+        (issue,) = check_dangling_nodes(sp.csr_array((4, 4)))
+        assert "every node" in issue.message
+
+    def test_symmetric(self):
+        sym = _csr([0, 1], [1, 0], [2.0, 2.0], 2)
+        assert check_symmetric(sym) == []
+        asym = _csr([0], [1], [2.0], 2)
+        (issue,) = check_symmetric(asym)
+        assert issue.code == "asymmetric"
+        assert issue.severity == "error"
+
+    def test_zero_diagonal(self):
+        m = _csr([0], [0], [1.0], 2)
+        (issue,) = check_zero_diagonal(m)
+        assert issue.code == "nonzero_diagonal"
+
+    def test_all_zero_needs_input_edges(self):
+        empty = sp.csr_array((3, 3))
+        assert check_all_zero(empty, had_input_edges=False) == []
+        (issue,) = check_all_zero(empty, had_input_edges=True)
+        assert issue.severity == "error"
+
+
+class TestGraphValidators:
+    def test_directed_levels(self):
+        m = _csr([0], [1], [1.0], 3)  # node 2 isolated
+        assert validate_directed_graph(m, level="none").issues == ()
+        basic = validate_directed_graph(m, level="basic")
+        assert basic.ok and not basic.warnings
+        full = validate_directed_graph(m, level="full")
+        assert full.ok
+        assert {i.code for i in full.warnings} >= {
+            "dangling_nodes",
+            "isolated_nodes",
+        }
+
+    def test_directed_rejects_nan(self):
+        m = _csr([0], [1], [np.nan], 2)
+        report = validate_directed_graph(m, level="basic")
+        assert not report.ok
+
+    def test_undirected_adds_symmetry(self):
+        m = _csr([0], [1], [1.0], 2)
+        assert validate_directed_graph(m, level="basic").ok
+        assert not validate_undirected_graph(m, level="basic").ok
+
+    def test_symmetrization_output_contract(self):
+        good = _csr([0, 1], [1, 0], [1.0, 1.0], 2)
+        assert validate_symmetrization_output(good).ok
+        zero = sp.csr_array((2, 2))
+        assert not validate_symmetrization_output(
+            zero, had_input_edges=True
+        ).ok
+        assert validate_symmetrization_output(
+            zero, had_input_edges=False
+        ).ok
+
+    def test_edge_list_checks(self):
+        report = validate_edge_list([(0, 1), (-1, 2)])
+        assert not report.ok
+        report = validate_edge_list([(0, 1, np.inf)])
+        assert not report.ok
+        report = validate_edge_list([(0, 1), (0, 1), (1, 2)])
+        assert report.ok
+        assert {i.code for i in report.warnings} == {"duplicate_edges"}
+
+
+class TestRepair:
+    def test_repair_matrix_drops_bad_entries(self):
+        m = _csr([0, 1, 2], [1, 2, 0], [1.0, np.nan, -2.0], 3)
+        fixed, report = repair_matrix(m)
+        assert fixed.nnz == 1
+        assert fixed[0, 1] == 1.0
+        assert report.warnings  # describes what was dropped
+        assert np.all(np.isfinite(fixed.data))
+
+    def test_repair_matrix_noop_on_clean(self):
+        m = _csr([0], [1], [1.0], 2)
+        fixed, report = repair_matrix(m)
+        assert report.issues == ()
+        assert (fixed != m).nnz == 0
+
+    def test_repair_graph_directed(self):
+        bad = DirectedGraph(
+            _csr([0, 1], [1, 2], [1.0, np.nan], 3), validate=False
+        )
+        fixed, report = repair_graph(bad)
+        assert isinstance(fixed, DirectedGraph)
+        assert fixed.n_edges == 1
+        assert validate_directed_graph(fixed.adjacency, level="basic").ok
+
+    def test_repair_graph_undirected_stays_symmetric(self):
+        m = _csr([0, 1, 1, 2], [1, 0, 2, 1], [1.0, 1.0, -1.0, -1.0], 3)
+        bad = UndirectedGraph(m, validate=False)
+        fixed, _ = repair_graph(bad)
+        adj = fixed.adjacency
+        assert (abs(adj - adj.T).max() if adj.nnz else 0.0) == 0.0
+
+    def test_repair_graph_rejects_non_square(self):
+        with pytest.raises(ValidationError, match="square"):
+            repair_graph(sp.csr_array((2, 3)))
+
+
+class TestStrictnessContext:
+    def test_default_is_strict(self):
+        assert is_strict()
+
+    def test_nesting_restores(self):
+        with lenient():
+            assert not is_strict()
+            with strictness(True):
+                assert is_strict()
+            assert not is_strict()
+        assert is_strict()
+
+    def test_degenerate_event_raises_in_strict(self):
+        with pytest.raises(SymmetrizationError, match="collapsed"):
+            degenerate_event("stage collapsed", SymmetrizationError)
+
+    def test_degenerate_event_warns_in_lenient(self):
+        with lenient(), warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            degenerate_event(
+                "stage collapsed", SymmetrizationError, code="collapse"
+            )
+        assert len(caught) == 1
+        assert isinstance(caught[0].message, DegenerateGraphWarning)
+        assert caught[0].message.code == "collapse"
+
+
+class TestConstructorIntegration:
+    def test_digraph_validate_levels(self):
+        m = _csr([0], [1], [1.0], 3)
+        DirectedGraph(m)  # basic, clean: silent
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            DirectedGraph(m, validate="full")
+        assert any(
+            isinstance(w.message, ValidationWarning) for w in caught
+        )
+
+    def test_digraph_rejects_nan_by_default(self):
+        with pytest.raises(GraphError, match="finite"):
+            DirectedGraph(_csr([0], [1], [np.nan], 2))
+
+    def test_digraph_validate_false_skips(self):
+        g = DirectedGraph(_csr([0], [1], [np.nan], 2), validate=False)
+        assert g.n_nodes == 2
+
+    def test_digraph_rejects_bad_level(self):
+        with pytest.raises(GraphError, match="validate"):
+            DirectedGraph(_csr([0], [1], [1.0], 2), validate="bogus")
+
+    def test_ugraph_rejects_asymmetric(self):
+        with pytest.raises(GraphError, match="symmetric"):
+            UndirectedGraph(_csr([0], [1], [1.0], 2))
+
+
+class TestWarningTaxonomy:
+    def test_codes(self):
+        assert ValidationWarning("m").code == "validation"
+        assert DegenerateGraphWarning("m").code == "degenerate"
+        assert RepairWarning("m").code == "repaired"
+        assert RepairWarning("m", code="custom").code == "custom"
+
+    def test_all_are_user_warnings(self):
+        for cls in (
+            ValidationWarning,
+            DegenerateGraphWarning,
+            RepairWarning,
+        ):
+            assert issubclass(cls, UserWarning)
