@@ -1,0 +1,50 @@
+# Local mirror of the CI pipeline (.github/workflows/ci.yml).
+# Every CI job has a target here so failures reproduce locally:
+#
+#   make test          tier-1 suite (the hard gate)
+#   make lint          ruff check (blocking in CI)
+#   make format-check  ruff format --check (advisory in CI)
+#   make fault-smoke   fault-injection marker subset
+#   make bench-smoke   repro bench --smoke + benchmark smoke subset
+#   make coverage      pytest-cov gate (falls back to the stdlib tool)
+#   make ci            everything the PR gate runs
+#
+# The repo is used uninstalled via PYTHONPATH=src, matching ROADMAP.md.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint format-check fault-smoke bench-smoke coverage ci clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check src tests benchmarks tools
+
+format-check:
+	ruff format --check src tests benchmarks tools
+
+fault-smoke:
+	$(PYTHON) -m pytest -m fault_smoke -q
+
+bench-smoke:
+	$(PYTHON) -m repro bench --smoke \
+		-o BENCH_allpairs.json --runlog bench_runs.jsonl
+	REPRO_BENCH_SCALE=0.25 $(PYTHON) -m pytest -q \
+		benchmarks/test_table1_datasets.py \
+		benchmarks/test_table2_edges.py
+
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -q --cov=repro --cov-report=term; \
+	else \
+		echo "pytest-cov not installed; using stdlib tracer"; \
+		$(PYTHON) tools/measure_coverage.py; \
+	fi
+
+ci: lint test fault-smoke bench-smoke
+
+clean:
+	rm -rf .pytest_cache .ruff_cache coverage.xml .coverage \
+		bench_runs.jsonl

@@ -29,6 +29,8 @@ Package layout
   sweeps.
 - :mod:`repro.datasets` — synthetic stand-ins for the paper's four
   datasets.
+- :mod:`repro.obs` — observability: hierarchical tracing, a metrics
+  registry and run manifests (see ``docs/observability.md``).
 """
 
 from repro.cluster import (
@@ -94,6 +96,17 @@ from repro.exceptions import (
     ValidationWarning,
 )
 from repro.graph import DirectedGraph, UndirectedGraph
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    Span,
+    Tracer,
+    diff_manifests,
+    metrics_active,
+    read_manifests,
+    to_chrome_trace,
+    tracing,
+)
 from repro.pipeline import (
     PipelineResult,
     PipelineWarning,
@@ -212,6 +225,16 @@ __all__ = [
     "repair_graph",
     "strictness",
     "lenient",
+    # observability
+    "Tracer",
+    "Span",
+    "tracing",
+    "to_chrome_trace",
+    "MetricsRegistry",
+    "metrics_active",
+    "RunManifest",
+    "read_manifests",
+    "diff_manifests",
     # exceptions
     "ReproError",
     "GraphError",

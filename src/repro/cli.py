@@ -10,6 +10,17 @@ Subcommands mirror the library's workflow on plain-text edge lists::
     python -m repro evaluate    labels.txt truth.txt
     python -m repro bench       -o BENCH_allpairs.json --smoke
 
+Observability (see ``docs/observability.md``): ``pipeline`` and
+``bench`` append :class:`~repro.obs.manifest.RunManifest` records to a
+JSONL run log with ``--runlog``; ``pipeline --trace-out`` exports the
+span tree as Chrome ``trace_event`` JSON; ``runs`` lists/shows/diffs
+run logs and ``trace`` re-exports a stored manifest's span tree::
+
+    python -m repro pipeline graph.txt out.txt --runlog runs.jsonl
+    python -m repro runs     list runs.jsonl
+    python -m repro runs     diff runs.jsonl -a 0 -b 1
+    python -m repro trace    runs.jsonl -o trace.json
+
 Graphs are whitespace edge lists (``src dst [weight]``); labels files
 are one integer per line (``-1`` = unlabeled in truth files).
 """
@@ -144,6 +155,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--truth", default=None,
         help="optional ground-truth labels file for Avg-F evaluation",
     )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "trace the run and write the span tree as Chrome "
+            "trace_event JSON (open in chrome://tracing or Perfetto)"
+        ),
+    )
+    p.add_argument(
+        "--runlog",
+        default=None,
+        help="append a RunManifest to this JSONL run log",
+    )
 
     p = sub.add_parser(
         "generate", help="generate a synthetic benchmark dataset"
@@ -215,6 +239,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the MLR-MCL stage-2 timing",
     )
     p.add_argument("-s", "--seed", type=int, default=0)
+    p.add_argument(
+        "--runlog",
+        default=None,
+        help="append a bench RunManifest to this JSONL run log",
+    )
+
+    p = sub.add_parser(
+        "runs",
+        help="inspect a JSONL run log of RunManifest records",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    q = runs_sub.add_parser("list", help="one line per recorded run")
+    q.add_argument("runlog", help="JSONL run log file")
+    q = runs_sub.add_parser("show", help="dump one manifest as JSON")
+    q.add_argument("runlog", help="JSONL run log file")
+    q.add_argument(
+        "-i", "--index", type=int, default=-1,
+        help="run index (negative counts from the end; default last)",
+    )
+    q.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="omit the span tree from the dump",
+    )
+    q = runs_sub.add_parser(
+        "diff", help="compare two recorded runs"
+    )
+    q.add_argument("runlog", help="JSONL run log file")
+    q.add_argument(
+        "-a", type=int, default=-2,
+        help="first run index (default second-to-last)",
+    )
+    q.add_argument(
+        "-b", type=int, default=-1,
+        help="second run index (default last)",
+    )
+    q.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured diff as JSON",
+    )
+
+    p = sub.add_parser(
+        "trace",
+        help=(
+            "export a recorded manifest's span tree as Chrome "
+            "trace_event JSON"
+        ),
+    )
+    p.add_argument("runlog", help="JSONL run log file")
+    p.add_argument(
+        "-i", "--index", type=int, default=-1,
+        help="run index (negative counts from the end; default last)",
+    )
+    p.add_argument(
+        "-o", "--output", default="trace.json",
+        help="where to write the Chrome trace JSON",
+    )
 
     p = sub.add_parser(
         "experiment",
@@ -300,7 +382,11 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         args.method, args.clusterer, threshold=args.threshold
     )
     result = pipe.run(
-        graph, n_clusters=args.n_clusters, ground_truth=truth
+        graph,
+        n_clusters=args.n_clusters,
+        ground_truth=truth,
+        trace=bool(args.trace_out),
+        manifest_path=args.runlog,
     )
     _write_labels(result.clustering.labels, args.output)
     print(
@@ -311,6 +397,22 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     )
     if result.average_f is not None:
         print(f"Avg-F vs ground truth: {result.average_f:.2f}")
+    if args.trace_out and result.trace is not None:
+        import json
+
+        from repro.obs.trace import Span, to_chrome_trace
+
+        spans = [Span.from_dict(s) for s in result.trace["spans"]]
+        payload = to_chrome_trace(spans)
+        Path(args.trace_out).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        print(
+            f"chrome trace ({len(payload['traceEvents'])} events) "
+            f"-> {args.trace_out}"
+        )
+    if args.runlog is not None:
+        print(f"run manifest appended to {args.runlog}")
     return 0
 
 
@@ -354,7 +456,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import format_summary, run_bench, write_bench
+    from repro.perf.bench import (
+        bench_manifest,
+        format_summary,
+        run_bench,
+        write_bench,
+    )
 
     results = run_bench(
         sizes=args.sizes,
@@ -368,7 +475,77 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     path = write_bench(results, args.output)
     print(format_summary(results))
     print(f"results written to {path}")
+    if args.runlog is not None:
+        from repro.obs.manifest import append_manifest
+
+        append_manifest(bench_manifest(results), args.runlog)
+        print(f"run manifest appended to {args.runlog}")
     return 0 if results["regression"]["passed"] else 1
+
+
+def _select_manifest(manifests, index: int):
+    try:
+        return manifests[index]
+    except IndexError:
+        raise ReproError(
+            f"run index {index} out of range for a log with "
+            f"{len(manifests)} runs"
+        ) from None
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.manifest import (
+        diff_manifests,
+        format_diff,
+        read_manifests,
+    )
+
+    manifests = read_manifests(args.runlog)
+    if args.runs_command == "list":
+        for i, manifest in enumerate(manifests):
+            print(f"[{i}] {manifest.summary()}")
+        return 0
+    if args.runs_command == "show":
+        manifest = _select_manifest(manifests, args.index)
+        payload = manifest.as_dict()
+        if args.no_trace:
+            payload["trace"] = []
+        print(json.dumps(payload, indent=2))
+        return 0
+    # diff
+    a = _select_manifest(manifests, args.a)
+    b = _select_manifest(manifests, args.b)
+    diff = diff_manifests(a, b)
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(format_diff(diff))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.manifest import read_manifests
+    from repro.obs.trace import Span, to_chrome_trace
+
+    manifests = read_manifests(args.runlog)
+    manifest = _select_manifest(manifests, args.index)
+    if not manifest.trace:
+        raise ReproError(
+            f"run {args.index} in {args.runlog} has no span tree; "
+            "record it with --trace-out/--runlog on a traced run"
+        )
+    spans = [Span.from_dict(node) for node in manifest.trace]
+    payload = to_chrome_trace(spans)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"chrome trace ({len(payload['traceEvents'])} events) "
+        f"-> {args.output}"
+    )
+    return 0
 
 
 def _print_experiment(result, with_chart: bool) -> None:
@@ -414,6 +591,8 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
     "bench": _cmd_bench,
+    "runs": _cmd_runs,
+    "trace": _cmd_trace,
     "experiment": _cmd_experiment,
 }
 

@@ -171,6 +171,8 @@ class GraphClusterer(abc.ABC):
         import warnings
 
         from repro.exceptions import DegenerateGraphWarning
+        from repro.obs.metrics import metric_set
+        from repro.obs.trace import span
         from repro.perf.stopwatch import Stopwatch
 
         _check_input(graph, n_clusters)
@@ -184,12 +186,23 @@ class GraphClusterer(abc.ABC):
                 stacklevel=2,
             )
             return Clustering(np.arange(graph.n_nodes))
-        with Stopwatch(f"cluster:{self.name}") as sw:
+        with span(f"cluster:{self.name}") as sp_, Stopwatch(
+            f"cluster:{self.name}"
+        ) as sw:
             result = self._cluster(graph, n_clusters)
             sw.count(
                 n_nodes=graph.n_nodes,
                 nnz_in=graph.adjacency.nnz,
                 n_clusters=result.n_clusters,
+            )
+            sp_.set(
+                n_nodes=graph.n_nodes,
+                nnz_in=graph.adjacency.nnz,
+                n_clusters=result.n_clusters,
+            )
+            metric_set("n_clusters_found", result.n_clusters)
+            metric_set(
+                "singleton_fraction", result.singleton_fraction()
             )
         return result
 

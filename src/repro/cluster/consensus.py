@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import copy
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.cluster.common import (

@@ -41,6 +41,8 @@ from repro.cluster.common import (
 )
 from repro.exceptions import ClusteringError
 from repro.graph.ugraph import UndirectedGraph
+from repro.obs.metrics import metric_inc, metric_set
+from repro.obs.trace import span
 from repro.perf.stopwatch import add_counters
 
 __all__ = ["MLRMCL"]
@@ -187,10 +189,15 @@ def _rmcl_iterations(
     """
     prev_labels = None
     performed = 0
+    entries_seen = 0
+    entries_pruned = 0
     for _ in range(n_iter):
         flow = (flow @ m_g).tocsc()  # regularize
         flow = _inflate(flow, inflation)
+        nnz_pre_prune = flow.nnz
         flow = _prune_columns(flow, prune_fraction)
+        entries_seen += nnz_pre_prune
+        entries_pruned += nnz_pre_prune - flow.nnz
         flow = _column_normalize(flow)
         performed += 1
         labels = _attractor_labels(flow)
@@ -203,6 +210,16 @@ def _rmcl_iterations(
         prev_labels = labels
     add_counters(
         "cluster:mlrmcl", rmcl_iterations=performed, flow_nnz=flow.nnz
+    )
+    metric_inc("mcl_iterations", performed)
+    metric_inc("mcl_entries_pruned_total", entries_pruned)
+    metric_set("mcl_final_flow_nnz", flow.nnz)
+    # Gauge semantics (last write wins) make this the *finest-level*
+    # prune fraction once the multi-level wrapper finishes — the
+    # figure that explains per-iteration cost in the bench output.
+    metric_set(
+        "mcl_prune_fraction",
+        entries_pruned / entries_seen if entries_seen else 0.0,
     )
     return flow
 
@@ -274,20 +291,26 @@ class MLRMCL(GraphClusterer):
     ) -> Clustering:
         rng = np.random.default_rng(self.seed)
         adj = graph.adjacency.tocsr()
-        hierarchy = build_hierarchy(adj, rng, min_nodes=self.coarsen_to)
+        with span("coarsen") as sp_:
+            hierarchy = build_hierarchy(
+                adj, rng, min_nodes=self.coarsen_to
+            )
+            sp_.set(levels=len(hierarchy.graphs))
         # Coarsest level: start from the canonical flow itself. The
         # coarse run is curtailed well above the target granularity so
         # the fine levels keep room to refine *and* coarsen.
         coarse_stop = None if n_clusters is None else 4 * n_clusters
         m_g = _canonical_flow(hierarchy.graphs[-1], self.self_loop)
-        flow = _rmcl_iterations(
-            m_g.copy(),
-            m_g,
-            self.inflation,
-            self.iterations_coarse,
-            self.prune_fraction,
-            stop_at_k=coarse_stop,
-        )
+        with span("rmcl:coarsest") as sp_:
+            flow = _rmcl_iterations(
+                m_g.copy(),
+                m_g,
+                self.inflation,
+                self.iterations_coarse,
+                self.prune_fraction,
+                stop_at_k=coarse_stop,
+            )
+            sp_.set(n_nodes=m_g.shape[0], flow_nnz=flow.nnz)
         for level in range(len(hierarchy.mappings) - 1, -1, -1):
             mapping = hierarchy.mappings[level]
             n_fine = mapping.size
@@ -309,14 +332,16 @@ class MLRMCL(GraphClusterer):
                 else self.iterations_per_level
             )
             stop = n_clusters if level == 0 else coarse_stop
-            flow = _rmcl_iterations(
-                flow,
-                m_g,
-                self.inflation,
-                n_iter,
-                self.prune_fraction,
-                stop_at_k=stop,
-            )
+            with span(f"rmcl:level[{level}]") as sp_:
+                flow = _rmcl_iterations(
+                    flow,
+                    m_g,
+                    self.inflation,
+                    n_iter,
+                    self.prune_fraction,
+                    stop_at_k=stop,
+                )
+                sp_.set(n_nodes=n_fine, flow_nnz=flow.nnz)
         return Clustering(_attractor_labels(flow))
 
     def __repr__(self) -> str:

@@ -26,6 +26,8 @@ from repro.cluster.common import (
 from repro.cluster.kmeans import kmeans
 from repro.exceptions import ClusteringError
 from repro.graph.ugraph import UndirectedGraph
+from repro.obs.metrics import metric_set
+from repro.obs.trace import span
 
 __all__ = ["SpectralClusterer", "spectral_embedding", "discretize_embedding"]
 
@@ -106,11 +108,20 @@ class SpectralClusterer(GraphClusterer):
         )
         D = sp.diags_array(inv_sqrt)
         normalized = (D @ adj @ D).tocsr()
-        embedding = spectral_embedding(
-            normalized,
-            n_clusters,
-            dense_cutoff=self.dense_cutoff,
-            seed=self.seed,
-        )
-        labels = discretize_embedding(embedding, n_clusters, seed=self.seed)
+        with span("spectral:embedding") as sp_:
+            embedding = spectral_embedding(
+                normalized,
+                n_clusters,
+                dense_cutoff=self.dense_cutoff,
+                seed=self.seed,
+            )
+            sp_.set(
+                n_nodes=normalized.shape[0],
+                n_components=embedding.shape[1],
+            )
+        metric_set("spectral_n_components", embedding.shape[1])
+        with span("spectral:discretize"):
+            labels = discretize_embedding(
+                embedding, n_clusters, seed=self.seed
+            )
         return Clustering(labels)

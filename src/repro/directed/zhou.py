@@ -11,7 +11,6 @@ timing bench) while completing at laptop scale.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.cluster.common import Clustering
 from repro.cluster.spectral import discretize_embedding, spectral_embedding

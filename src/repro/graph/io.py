@@ -17,7 +17,6 @@ import math
 import warnings
 from pathlib import Path
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import GraphFormatError, ValidationWarning

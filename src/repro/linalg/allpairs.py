@@ -57,6 +57,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import SymmetrizationError
+from repro.obs.metrics import metric_inc, metric_observe
+from repro.obs.trace import span
 from repro.perf.stopwatch import add_counters
 
 __all__ = ["thresholded_gram_matrix", "BACKENDS"]
@@ -206,6 +208,10 @@ def _python_engine(
         kept_pairs=len(out_vals),
         pruned_pairs=n_candidates - len(out_vals),
     )
+    metric_inc("allpairs_candidate_pairs_total", n_candidates)
+    metric_inc(
+        "allpairs_pairs_pruned_total", n_candidates - len(out_vals)
+    )
     result = sp.coo_array(
         (out_vals, (out_rows, out_cols)), shape=(n, n)
     ).tocsr()
@@ -345,16 +351,25 @@ def _process_blocks(
         block = csr[start:end]
         if block.nnz == 0:
             continue
-        # Nonzeros of block @ suffixᵀ are the pairs sharing an indexed
-        # feature; partners are restricted to strictly-earlier rows,
-        # which reproduces the sequential probe order exactly.
-        cand = (block @ suffix[:end].T).tocoo()
-        left = cand.row.astype(np.int64) + start
-        right = cand.col.astype(np.int64)
-        earlier = right < left
-        left, right = left[earlier], right[earlier]
-        n_candidates += left.size
-        _verify_pairs(csr, left, right, threshold, out)
+        with span(f"gram_block[{start}]") as sp_:
+            # Nonzeros of block @ suffixᵀ are the pairs sharing an
+            # indexed feature; partners are restricted to
+            # strictly-earlier rows, which reproduces the sequential
+            # probe order exactly.
+            cand = (block @ suffix[:end].T).tocoo()
+            left = cand.row.astype(np.int64) + start
+            right = cand.col.astype(np.int64)
+            earlier = right < left
+            left, right = left[earlier], right[earlier]
+            n_candidates += left.size
+            kept_before = len(out)
+            _verify_pairs(csr, left, right, threshold, out)
+            sp_.set(
+                rows=end - start,
+                candidate_pairs=int(left.size),
+                kept_pairs=len(out) - kept_before,
+            )
+            metric_observe("gram_block_candidates", left.size)
     return out, n_candidates
 
 
@@ -422,8 +437,10 @@ def _vectorized_engine(
 ) -> sp.csr_array:
     """Blocked array-native engine; see the module docstring."""
     n = csr.shape[0]
-    col_max = _column_maxima(csr)
-    suffix = _suffix_index(csr, col_max, threshold)
+    with span("suffix_index") as sp_:
+        col_max = _column_maxima(csr)
+        suffix = _suffix_index(csr, col_max, threshold)
+        sp_.set(indexed_nnz=suffix.nnz, nnz_in=csr.nnz)
 
     block_starts = list(range(0, n, block_size))
     merged: tuple[_TripletBuffer, int] | None = None
@@ -461,6 +478,10 @@ def _vectorized_engine(
         candidate_pairs=n_candidates,
         kept_pairs=len(buffer),
         pruned_pairs=n_candidates - len(buffer),
+    )
+    metric_inc("allpairs_candidate_pairs_total", n_candidates)
+    metric_inc(
+        "allpairs_pairs_pruned_total", n_candidates - len(buffer)
     )
     result = sp.coo_array(
         (out_vals, (out_rows, out_cols)), shape=(n, n)
@@ -522,11 +543,25 @@ def thresholded_gram_matrix(
     if backend == "vectorized":
         if block_size < 1:
             raise SymmetrizationError("block_size must be >= 1")
-        return _vectorized_engine(
-            csr, threshold, include_diagonal, block_size, n_jobs
-        )
+        with span("allpairs:vectorized") as sp_:
+            result = _vectorized_engine(
+                csr, threshold, include_diagonal, block_size, n_jobs
+            )
+            sp_.set(
+                rows=csr.shape[0],
+                threshold=threshold,
+                nnz_out=result.nnz,
+            )
+        return result
     if backend == "python":
-        return _python_engine(csr, threshold, include_diagonal)
+        with span("allpairs:python") as sp_:
+            result = _python_engine(csr, threshold, include_diagonal)
+            sp_.set(
+                rows=csr.shape[0],
+                threshold=threshold,
+                nnz_out=result.nnz,
+            )
+        return result
     raise SymmetrizationError(
         f"unknown backend {backend!r}; expected one of {BACKENDS}"
     )

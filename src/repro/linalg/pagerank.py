@@ -22,6 +22,8 @@ from repro.exceptions import (
     GraphError,
 )
 from repro.graph.digraph import DirectedGraph
+from repro.obs.metrics import metric_inc, metric_set
+from repro.obs.trace import span
 
 __all__ = ["transition_matrix", "pagerank", "stationary_distribution"]
 
@@ -105,14 +107,24 @@ def pagerank(
     damping = 1.0 - teleport
     delta = np.inf
     PT = P.T.tocsr()  # iterate with column-access for speed
-    for _ in range(max_iter):
-        dangling_mass = pi[dangling].sum()
-        new_pi = damping * (PT @ pi + dangling_mass / n) + teleport / n
-        delta = np.abs(new_pi - pi).sum()
-        pi = new_pi
-        if delta < tol:
-            pi /= pi.sum()
-            return pi
+    with span("pagerank") as sp_:
+        performed = 0
+        for _ in range(max_iter):
+            dangling_mass = pi[dangling].sum()
+            new_pi = (
+                damping * (PT @ pi + dangling_mass / n) + teleport / n
+            )
+            delta = np.abs(new_pi - pi).sum()
+            pi = new_pi
+            performed += 1
+            if delta < tol:
+                break
+        sp_.set(n_nodes=n, iterations=performed, delta=delta)
+        metric_inc("pagerank_iterations", performed)
+        metric_set("pagerank_convergence_delta", delta)
+    if delta < tol:
+        pi /= pi.sum()
+        return pi
     if raise_on_no_convergence and delta > NEAR_CONVERGENCE_FACTOR * tol:
         raise ConvergenceError(
             f"PageRank did not converge in {max_iter} iterations: "

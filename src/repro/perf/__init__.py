@@ -18,6 +18,13 @@ Instrumentation is zero-configuration and near-zero overhead: stages
 record into the *ambient* recorder installed by
 :func:`~repro.perf.recording`, and recording calls are no-ops when no
 recorder is active.
+
+This package has since grown into the fuller observability layer in
+:mod:`repro.obs` — hierarchical span tracing with Chrome
+``trace_event`` export, a counters/gauges/histograms metrics registry
+and run manifests — which re-exports the stopwatch API. New code
+should import from :mod:`repro.obs`; this module remains the home of
+the flat stage recorder and the bench harness.
 """
 
 from repro.perf.stopwatch import (

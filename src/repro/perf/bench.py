@@ -9,7 +9,9 @@ perf trajectory is visible across PRs:
   :meth:`~repro.symmetrize.DegreeDiscountedSymmetrization.apply_pruned`
   per backend and capture the engine counters (candidate pairs,
   pruned pairs, indexed nnz) from the :mod:`repro.perf` recorder;
-- **cluster runs** time MLR-MCL on the vectorized backend's output;
+- **cluster runs** time MLR-MCL on the vectorized backend's output
+  and record its convergence metrics (iteration count, final prune
+  fraction) from the :mod:`repro.obs` metrics registry;
 - the **regression block** encodes the thresholds future PRs are held
   to (minimum vectorized-over-python speedup at the largest benched
   size) together with whether this run passed them.
@@ -32,6 +34,7 @@ import numpy as np
 import scipy
 
 from repro.exceptions import ReproError
+from repro.obs.metrics import MetricsRegistry, metrics_active
 from repro.perf.stopwatch import PerfRecorder, recording
 
 __all__ = [
@@ -43,11 +46,14 @@ __all__ = [
     "REQUIRED_RUN_KEYS",
     "run_bench",
     "write_bench",
+    "bench_manifest",
     "format_summary",
 ]
 
 #: Schema identifier embedded in the JSON for forward compatibility.
-BENCH_SCHEMA = "repro-bench-allpairs/v1"
+#: v2 added the per-run ``"metrics"`` key (observability registry
+#: snapshot: MCL iteration counts, prune fractions, engine totals).
+BENCH_SCHEMA = "repro-bench-allpairs/v2"
 
 #: Full-sweep defaults: sizes bracket the regime where the pure-Python
 #: engine is still tolerable; thresholds bracket the Table-3 operating
@@ -71,6 +77,7 @@ REQUIRED_RUN_KEYS = frozenset(
         "seconds",
         "edges_out",
         "counters",
+        "metrics",
     }
 )
 
@@ -90,7 +97,8 @@ def _symmetrize_run(
     sym, graph, threshold: float, backend: str, n_jobs: int | None
 ) -> tuple[dict[str, Any], Any]:
     recorder = PerfRecorder()
-    with recording(recorder):
+    registry = MetricsRegistry()
+    with recording(recorder), metrics_active(registry):
         t0 = time.perf_counter()
         result = sym.apply_pruned(
             graph, threshold, backend=backend, n_jobs=n_jobs
@@ -110,6 +118,7 @@ def _symmetrize_run(
         "seconds": seconds,
         "edges_out": result.n_edges,
         "counters": counters,
+        "metrics": registry.flat(),
     }, result
 
 
@@ -117,7 +126,8 @@ def _cluster_run(graph, symmetrized, threshold: float) -> dict[str, Any]:
     from repro.cluster.mlrmcl import MLRMCL
 
     recorder = PerfRecorder()
-    with recording(recorder):
+    registry = MetricsRegistry()
+    with recording(recorder), metrics_active(registry):
         t0 = time.perf_counter()
         clustering = MLRMCL().cluster(symmetrized)
         seconds = time.perf_counter() - t0
@@ -135,6 +145,7 @@ def _cluster_run(graph, symmetrized, threshold: float) -> dict[str, Any]:
         "seconds": seconds,
         "edges_out": int(clustering.n_clusters),
         "counters": counters,
+        "metrics": registry.flat(),
     }
 
 
@@ -272,6 +283,42 @@ def write_bench(results: dict[str, Any], path: str | Path) -> Path:
     return out
 
 
+def bench_manifest(results: dict[str, Any]):
+    """Condense a bench ``results`` dict into a :class:`RunManifest`.
+
+    The manifest carries the sweep config, the aggregated per-kind
+    metrics (summed counters, last-write gauges across runs) and one
+    timing entry per run, so ``repro runs diff`` can compare two bench
+    invocations the same way it compares two pipeline runs.
+    """
+    from repro.obs.manifest import RunManifest, collect_environment
+
+    metrics: dict[str, float] = {}
+    timings: dict[str, float] = {}
+    for i, run in enumerate(results["runs"]):
+        tag = f"{run['kind']}:{run['backend']}@{run['n_nodes']}"
+        timings[f"{tag}#{i}_seconds"] = float(run["seconds"])
+        for name, value in run.get("metrics", {}).items():
+            metrics[f"{run['kind']}.{name}"] = float(value)
+    reg = results["regression"]
+    metrics["regression_passed"] = float(bool(reg["passed"]))
+    if reg["observed_speedup"] is not None:
+        metrics["observed_speedup"] = float(reg["observed_speedup"])
+    return RunManifest(
+        kind="bench",
+        name="bench-allpairs",
+        config=dict(results["config"]),
+        dataset={
+            "sizes": list(results["config"]["sizes"]),
+            "generator": "power_law_digraph",
+        },
+        environment=collect_environment(),
+        seed=results["config"].get("seed"),
+        metrics=metrics,
+        timings=timings,
+    )
+
+
 def format_summary(results: dict[str, Any]) -> str:
     """Human-readable table of the benched runs and speedups."""
     lines = [
@@ -284,6 +331,13 @@ def format_summary(results: dict[str, Any]) -> str:
             f"{run['n_nodes']:>7} {run['threshold']:>5g} "
             f"{run['seconds']:>9.3f} {run['edges_out']:>10}"
         )
+        if run["kind"] == "cluster":
+            m = run.get("metrics", {})
+            if "mcl_iterations" in m:
+                lines.append(
+                    f"{'':<11}   iterations={m['mcl_iterations']:g} "
+                    f"prune_fraction={m.get('mcl_prune_fraction', 0.0):.3f}"
+                )
     if results["speedups"]:
         lines.append("")
         for key, value in results["speedups"].items():

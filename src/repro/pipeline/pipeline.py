@@ -32,6 +32,7 @@ import contextlib
 import time
 import warnings as _warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterator
 
 from repro.cluster.common import Clustering, GraphClusterer, get_clusterer
@@ -40,6 +41,20 @@ from repro.eval.groundtruth import GroundTruth
 from repro.exceptions import ClusteringError, PipelineError, ReproWarning
 from repro.graph.digraph import DirectedGraph
 from repro.graph.ugraph import UndirectedGraph
+from repro.obs.manifest import (
+    RunManifest,
+    append_manifest,
+    collect_environment,
+    fingerprint_graph,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    current_metrics,
+    metric_inc,
+    metric_set,
+    metrics_active,
+)
+from repro.obs.trace import Tracer, current_tracer, span, tracing
 from repro.perf.stopwatch import (
     PerfRecorder,
     current_recorder,
@@ -116,6 +131,18 @@ class PipelineResult:
         :class:`~repro.exceptions.ReproWarning` the run emitted —
         repairs applied, degenerate structure detected, convergence
         shortfalls. Empty on clean inputs.
+    trace:
+        Span-forest snapshot (``{"spans": [...], "max_depth": n}``)
+        when the run was traced (``trace=True`` or an ambient
+        :func:`repro.obs.tracing` block); ``None`` otherwise.
+    metrics:
+        :meth:`~repro.obs.MetricsRegistry.as_dict` snapshot of the
+        counters/gauges/histograms the run emitted, under the same
+        condition; ``None`` otherwise.
+    manifest:
+        The :class:`~repro.obs.RunManifest` provenance record, built
+        whenever the run was traced and appended to the run log when
+        ``manifest_path`` was given.
     """
 
     clustering: Clustering
@@ -127,6 +154,9 @@ class PipelineResult:
     warnings: tuple[PipelineWarning, ...] = field(
         default=(), compare=False
     )
+    trace: dict[str, Any] | None = field(default=None, compare=False)
+    metrics: dict[str, Any] | None = field(default=None, compare=False)
+    manifest: RunManifest | None = field(default=None, compare=False)
 
     @property
     def total_seconds(self) -> float:
@@ -266,6 +296,8 @@ class SymmetrizeClusterPipeline:
         n_clusters: int | None = None,
         ground_truth: GroundTruth | None = None,
         symmetrized: UndirectedGraph | None = None,
+        trace: bool = False,
+        manifest_path: str | Path | None = None,
     ) -> PipelineResult:
         """Run the full pipeline.
 
@@ -281,16 +313,51 @@ class SymmetrizeClusterPipeline:
             Pass a pre-computed stage-1 output to amortize
             symmetrization across many stage-2 runs (the sweeps do
             this); its symmetrize time is then reported as 0.
+        trace:
+            Record a hierarchical span tree and metrics snapshot for
+            this run (see :mod:`repro.obs`) onto the result's
+            ``trace``/``metrics``/``manifest`` fields. An ambient
+            :func:`repro.obs.tracing` block enables this implicitly.
+        manifest_path:
+            Append the run's :class:`~repro.obs.RunManifest` to this
+            JSONL run log (implies ``trace``).
         """
         recorder = current_recorder()
         if recorder is None:
             recorder = PerfRecorder()
+        tracer = current_tracer()
+        own_tracer = None
+        if tracer is None and (trace or manifest_path is not None):
+            own_tracer = tracer = Tracer()
+        metrics = current_metrics()
+        own_metrics = None
+        if metrics is None and tracer is not None:
+            own_metrics = metrics = MetricsRegistry()
         records: list[PipelineWarning] = []
-        with strictness(self.mode == "strict"), recording(recorder):
-            graph = self._validated_input(graph, records)
+        with contextlib.ExitStack() as stack:
+            if own_tracer is not None:
+                stack.enter_context(tracing(own_tracer))
+            if own_metrics is not None:
+                stack.enter_context(metrics_active(own_metrics))
+            stack.enter_context(strictness(self.mode == "strict"))
+            stack.enter_context(recording(recorder))
+            root = stack.enter_context(span("pipeline"))
+            root.set(
+                symmetrization=self.symmetrization.name,
+                clusterer=self.clusterer.name,
+                threshold=self.threshold,
+                mode=self.mode,
+                n_nodes=graph.n_nodes,
+                n_edges=graph.n_edges,
+            )
+            metric_inc("pipeline_runs_total")
+            with span("validate"):
+                graph = self._validated_input(graph, records)
             if symmetrized is None:
                 t0 = time.perf_counter()
-                with _capture_stage("symmetrize", records):
+                with span("symmetrize"), _capture_stage(
+                    "symmetrize", records
+                ):
                     symmetrized = self.symmetrize(graph)
                 t_sym = time.perf_counter() - t0
                 record_stage(
@@ -300,12 +367,13 @@ class SymmetrizeClusterPipeline:
                     nnz_out=symmetrized.adjacency.nnz,
                 )
             else:
-                symmetrized = self._validated_symmetrized(
-                    symmetrized, records
-                )
+                with span("validate"):
+                    symmetrized = self._validated_symmetrized(
+                        symmetrized, records
+                    )
                 t_sym = 0.0
             t0 = time.perf_counter()
-            with _capture_stage("cluster", records):
+            with span("cluster"), _capture_stage("cluster", records):
                 clustering = self.clusterer.cluster(
                     symmetrized, n_clusters
                 )
@@ -316,11 +384,31 @@ class SymmetrizeClusterPipeline:
                 nnz_in=symmetrized.adjacency.nnz,
                 n_clusters=clustering.n_clusters,
             )
-        avg_f = (
-            average_f_score(clustering, ground_truth)
-            if ground_truth is not None
-            else None
+            if ground_truth is not None:
+                with span("evaluate"):
+                    avg_f = average_f_score(clustering, ground_truth)
+                metric_set("average_f", avg_f)
+            else:
+                avg_f = None
+        trace_snapshot = (
+            tracer.as_dict() if tracer is not None else None
         )
+        metrics_snapshot = (
+            metrics.as_dict() if metrics is not None else None
+        )
+        manifest = None
+        if tracer is not None:
+            manifest = self._build_manifest(
+                graph,
+                n_clusters,
+                records,
+                trace_snapshot,
+                metrics_snapshot,
+                t_sym,
+                t_cluster,
+            )
+            if manifest_path is not None:
+                append_manifest(manifest, manifest_path)
         return PipelineResult(
             clustering=clustering,
             symmetrized=symmetrized,
@@ -329,6 +417,48 @@ class SymmetrizeClusterPipeline:
             average_f=avg_f,
             stages=recorder.as_dict(),
             warnings=tuple(records),
+            trace=trace_snapshot,
+            metrics=metrics_snapshot,
+            manifest=manifest,
+        )
+
+    def _build_manifest(
+        self,
+        graph: DirectedGraph,
+        n_clusters: int | None,
+        records: list[PipelineWarning],
+        trace_snapshot: dict[str, Any] | None,
+        metrics_snapshot: dict[str, Any] | None,
+        t_sym: float,
+        t_cluster: float,
+    ) -> RunManifest:
+        """Assemble the provenance record for one traced run."""
+        # average_f is already in the metrics snapshot (set as a
+        # gauge during the evaluate span); timings stay durations-only
+        # so RunManifest.total_seconds means what it says.
+        timings = {
+            "symmetrize_seconds": t_sym,
+            "cluster_seconds": t_cluster,
+        }
+        return RunManifest(
+            kind="pipeline",
+            name=f"{self.symmetrization.name}.{self.clusterer.name}",
+            config={
+                "symmetrization": self.symmetrization.name,
+                "clusterer": self.clusterer.name,
+                "threshold": self.threshold,
+                "mode": self.mode,
+                "n_clusters": n_clusters,
+            },
+            dataset=fingerprint_graph(graph),
+            environment=collect_environment(),
+            warnings=[
+                {"stage": w.stage, "code": w.code, "message": w.message}
+                for w in records
+            ],
+            trace=(trace_snapshot or {}).get("spans", []),
+            metrics=metrics_snapshot or {},
+            timings=timings,
         )
 
     def __repr__(self) -> str:

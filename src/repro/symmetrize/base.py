@@ -17,6 +17,8 @@ from repro.exceptions import SymmetrizationError
 from repro.graph.digraph import DirectedGraph
 from repro.graph.ugraph import UndirectedGraph
 from repro.linalg.sparse_utils import prune_matrix
+from repro.obs.metrics import metric_inc, metric_set
+from repro.obs.trace import span
 from repro.perf.stopwatch import Stopwatch
 from repro.validate.invariants import (
     degenerate_event,
@@ -125,13 +127,20 @@ class Symmetrization(abc.ABC):
                 f"expected a DirectedGraph, got {type(graph).__name__}"
             )
         graph = self._validated_input(graph)
-        with Stopwatch(f"symmetrize:{self.name}") as sw:
-            matrix = self._validated_output(
-                self.compute_matrix(graph).tocsr(), graph
-            )
+        with span(f"symmetrize:{self.name}") as sp_, Stopwatch(
+            f"symmetrize:{self.name}"
+        ) as sw:
+            with span("compute_matrix"):
+                matrix = self._validated_output(
+                    self.compute_matrix(graph).tocsr(), graph
+                )
             nnz_raw = matrix.nnz
             if threshold > 0:
-                matrix = prune_matrix(matrix, threshold)
+                with span("prune"):
+                    matrix = prune_matrix(matrix, threshold)
+                metric_inc(
+                    "edges_pruned_total", nnz_raw - matrix.nnz
+                )
             if drop_self_loops:
                 lil = matrix.tolil()
                 lil.setdiag(0.0)
@@ -145,6 +154,15 @@ class Symmetrization(abc.ABC):
                 nnz_raw=nnz_raw,
                 nnz_out=matrix.nnz,
             )
+            sp_.set(
+                n_nodes=graph.n_nodes,
+                nnz_in=graph.adjacency.nnz,
+                nnz_raw=nnz_raw,
+                nnz_out=matrix.nnz,
+                threshold=threshold,
+            )
+            metric_set("symmetrize_nnz_raw", nnz_raw)
+            metric_set("symmetrize_nnz_out", matrix.nnz)
         return UndirectedGraph(
             matrix, node_names=graph.node_names, validate=False
         )

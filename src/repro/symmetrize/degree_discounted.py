@@ -203,6 +203,8 @@ class DegreeDiscountedSymmetrization(Symmetrization):
             DEFAULT_BLOCK_SIZE,
             thresholded_gram_matrix,
         )
+        from repro.obs.metrics import metric_inc, metric_set
+        from repro.obs.trace import span
         from repro.perf.stopwatch import add_counters
 
         if threshold <= 0:
@@ -210,55 +212,77 @@ class DegreeDiscountedSymmetrization(Symmetrization):
                 "apply_pruned requires a positive threshold; "
                 "use apply() for threshold 0"
             )
-        factors = self.pruning_factors(graph)
-        # A pair reaching `threshold` in total has at least one term
-        # >= threshold / n_terms, so searching each factor at that
-        # per-term level yields a complete candidate set; exact totals
-        # are then verified per candidate pair. The relative slack
-        # keeps exact-tie pairs (whose per-term dot product can round
-        # a hair below the bound) in the candidate set.
-        per_term = threshold / len(factors) * (1.0 - TIE_RTOL)
-        candidates = None
-        for Y in factors:
-            found = thresholded_gram_matrix(
-                Y,
-                per_term,
+        with span("symmetrize:degree_discounted_pruned") as root:
+            root.set(
+                threshold=threshold,
                 backend=backend,
-                block_size=block_size or DEFAULT_BLOCK_SIZE,
-                n_jobs=n_jobs,
+                n_nodes=graph.n_nodes,
+                nnz_in=graph.adjacency.nnz,
             )
-            found.data[:] = 1.0
-            candidates = (
-                found if candidates is None else candidates + found
+            with span("pruning_factors"):
+                factors = self.pruning_factors(graph)
+            # A pair reaching `threshold` in total has at least one
+            # term >= threshold / n_terms, so searching each factor at
+            # that per-term level yields a complete candidate set;
+            # exact totals are then verified per candidate pair. The
+            # relative slack keeps exact-tie pairs (whose per-term dot
+            # product can round a hair below the bound) in the
+            # candidate set.
+            per_term = threshold / len(factors) * (1.0 - TIE_RTOL)
+            candidates = None
+            for Y in factors:
+                found = thresholded_gram_matrix(
+                    Y,
+                    per_term,
+                    backend=backend,
+                    block_size=block_size or DEFAULT_BLOCK_SIZE,
+                    n_jobs=n_jobs,
+                )
+                found.data[:] = 1.0
+                candidates = (
+                    found if candidates is None else candidates + found
+                )
+            # Each unordered pair is verified once (strict upper
+            # triangle; the diagonal never enters, so no post-hoc
+            # clearing needed).
+            with span("verify_candidates") as sp_:
+                pairs = sp.triu(candidates, k=1).tocoo()
+                left = pairs.row.astype(np.int64)
+                right = pairs.col.astype(np.int64)
+                values = np.zeros(left.size)
+                batch = 1 << 18
+                for Y in factors:
+                    for lo in range(0, left.size, batch):
+                        sl = slice(lo, lo + batch)
+                        values[sl] += np.asarray(
+                            Y[left[sl]]
+                            .multiply(Y[right[sl]])
+                            .sum(axis=1)
+                        ).ravel()
+                # Relative tolerance so threshold ties survive in this
+                # path exactly as they do in apply()'s prune_matrix
+                # cut, regardless of floating-point summation order.
+                keep = values >= threshold * (1.0 - TIE_RTOL)
+                sp_.set(
+                    candidate_pairs=int(left.size),
+                    kept_pairs=int(keep.sum()),
+                )
+            add_counters(
+                "apply_pruned:degree_discounted",
+                candidate_pairs=left.size,
+                kept_pairs=int(keep.sum()),
+                pruned_pairs=int(left.size - keep.sum()),
             )
-        # Each unordered pair is verified once (strict upper triangle;
-        # the diagonal never enters, so no post-hoc clearing needed).
-        pairs = sp.triu(candidates, k=1).tocoo()
-        left = pairs.row.astype(np.int64)
-        right = pairs.col.astype(np.int64)
-        values = np.zeros(left.size)
-        batch = 1 << 18
-        for Y in factors:
-            for lo in range(0, left.size, batch):
-                sl = slice(lo, lo + batch)
-                values[sl] += np.asarray(
-                    Y[left[sl]].multiply(Y[right[sl]]).sum(axis=1)
-                ).ravel()
-        # Relative tolerance so threshold ties survive in this path
-        # exactly as they do in apply()'s prune_matrix cut, regardless
-        # of floating-point summation order.
-        keep = values >= threshold * (1.0 - TIE_RTOL)
-        add_counters(
-            "apply_pruned:degree_discounted",
-            candidate_pairs=left.size,
-            kept_pairs=int(keep.sum()),
-            pruned_pairs=int(left.size - keep.sum()),
-        )
-        total = sp.coo_array(
-            (values[keep], (left[keep], right[keep])),
-            shape=(graph.n_nodes, graph.n_nodes),
-        ).tocsr()
-        total = (total + total.T).tocsr()
+            metric_inc(
+                "edges_pruned_total", int(left.size - keep.sum())
+            )
+            total = sp.coo_array(
+                (values[keep], (left[keep], right[keep])),
+                shape=(graph.n_nodes, graph.n_nodes),
+            ).tocsr()
+            total = (total + total.T).tocsr()
+            root.set(nnz_out=total.nnz)
+            metric_set("symmetrize_nnz_out", total.nnz)
         return UndirectedGraph(
             total, node_names=graph.node_names, validate=False
         )

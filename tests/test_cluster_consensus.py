@@ -1,6 +1,5 @@
 """Unit tests for :mod:`repro.cluster.consensus`."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import ConsensusClusterer, get_clusterer

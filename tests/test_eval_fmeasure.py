@@ -1,6 +1,5 @@
 """Unit tests for the §4.3 F-measure evaluation."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.common import Clustering

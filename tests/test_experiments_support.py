@@ -1,6 +1,5 @@
 """Unit tests for :mod:`repro.experiments.support` helpers."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.support import (

@@ -5,7 +5,6 @@ scalability claims)."""
 import json
 import time
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -198,6 +197,27 @@ class TestBenchSmoke:
         assert smoke_results["regression"]["passed"] is True
         assert smoke_results["speedups"]["2000@0.5"] >= 1.0
 
+    def test_cluster_runs_carry_mcl_metrics(self, smoke_results):
+        # The bench records MLR-MCL convergence behaviour per run via
+        # the metrics registry (schema v2): iteration count and the
+        # finest-level prune fraction.
+        cluster_runs = [
+            r for r in smoke_results["runs"] if r["kind"] == "cluster"
+        ]
+        assert cluster_runs
+        for run in cluster_runs:
+            assert run["metrics"]["mcl_iterations"] >= 1
+            assert 0.0 <= run["metrics"]["mcl_prune_fraction"] <= 1.0
+            assert run["metrics"]["mcl_final_flow_nnz"] > 0
+
+    def test_symmetrize_runs_carry_engine_metrics(self, smoke_results):
+        sym_runs = [
+            r for r in smoke_results["runs"] if r["kind"] == "symmetrize"
+        ]
+        for run in sym_runs:
+            assert "edges_pruned_total" in run["metrics"]
+            assert "symmetrize_nnz_out" in run["metrics"]
+
     def test_backends_produce_same_edges(self, smoke_results):
         edges = {
             r["backend"]: r["edges_out"]
@@ -241,3 +261,34 @@ class TestBenchCli:
         captured = capsys.readouterr().out
         assert "results written to" in captured
         assert "regression: PASS" in captured
+
+    def test_bench_runlog_manifest(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests
+
+        out = tmp_path / "bench.json"
+        log = tmp_path / "bench_runs.jsonl"
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--sizes",
+                "400",
+                "-t",
+                "0.3",
+                "-o",
+                str(out),
+                "--runlog",
+                str(log),
+            ]
+        )
+        assert code == 0
+        manifests = read_manifests(log)
+        assert len(manifests) == 1
+        manifest = manifests[0]
+        assert manifest.kind == "bench"
+        assert manifest.metrics["regression_passed"] == 1.0
+        assert any(
+            name.startswith("cluster.mcl_iterations")
+            for name in manifest.metrics
+        )
+        assert manifest.timings  # one entry per benched run

@@ -1,6 +1,5 @@
 """Unit tests for :mod:`repro.pipeline` (pipeline, sweeps, report)."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import MetisClusterer

@@ -1,6 +1,5 @@
 """Unit tests for :mod:`repro.pipeline.tuning`."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ReproError

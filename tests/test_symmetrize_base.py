@@ -1,6 +1,5 @@
 """Unit tests for the symmetrization base/registry/façade."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import SymmetrizationError

@@ -1,6 +1,5 @@
 """Unit tests for :mod:`repro.symmetrize.pruning` (§3.5, §5.3.1)."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import SymmetrizationError
