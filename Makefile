@@ -6,6 +6,7 @@
 #   make format-check  ruff format --check (advisory in CI)
 #   make fault-smoke   fault-injection marker subset
 #   make bench-smoke   repro bench --smoke + benchmark smoke subset
+#   make cache-smoke   cold/warm artifact-cache sweep identity check
 #   make coverage      pytest-cov gate (falls back to the stdlib tool)
 #   make ci            everything the PR gate runs
 #
@@ -14,7 +15,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint format-check fault-smoke bench-smoke coverage ci clean
+.PHONY: test lint format-check fault-smoke bench-smoke cache-smoke \
+	coverage ci clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,6 +37,9 @@ bench-smoke:
 		benchmarks/test_table1_datasets.py \
 		benchmarks/test_table2_edges.py
 
+cache-smoke:
+	$(PYTHON) tools/cache_smoke.py
+
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTHON) -m pytest -q --cov=repro --cov-report=term; \
@@ -43,7 +48,7 @@ coverage:
 		$(PYTHON) tools/measure_coverage.py; \
 	fi
 
-ci: lint test fault-smoke bench-smoke
+ci: lint test fault-smoke bench-smoke cache-smoke
 
 clean:
 	rm -rf .pytest_cache .ruff_cache coverage.xml .coverage \

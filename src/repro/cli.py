@@ -9,6 +9,11 @@ Subcommands mirror the library's workflow on plain-text edge lists::
     python -m repro generate    cora out.txt --labels labels.txt -n 1500
     python -m repro evaluate    labels.txt truth.txt
     python -m repro bench       -o BENCH_allpairs.json --smoke
+    python -m repro cache       list | stats | clear
+
+``pipeline --cache-dir DIR`` reuses symmetrization artifacts through
+the disk-backed content-addressed cache (``docs/architecture.md``);
+``cache list/stats/clear`` inspects or empties it.
 
 Observability (see ``docs/observability.md``): ``pipeline`` and
 ``bench`` append :class:`~repro.obs.manifest.RunManifest` records to a
@@ -168,6 +173,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="append a RunManifest to this JSONL run log",
     )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "reuse symmetrization artifacts through a disk-backed "
+            "content-addressed cache at this directory (see "
+            "'repro cache')"
+        ),
+    )
 
     p = sub.add_parser(
         "generate", help="generate a synthetic benchmark dataset"
@@ -238,12 +252,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the MLR-MCL stage-2 timing",
     )
+    p.add_argument(
+        "--no-cache-sweep",
+        action="store_true",
+        help="skip the cold-vs-warm artifact-cache sweep",
+    )
     p.add_argument("-s", "--seed", type=int, default=0)
     p.add_argument(
         "--runlog",
         default=None,
         help="append a bench RunManifest to this JSONL run log",
     )
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear the on-disk artifact cache",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("list", "one line per stored artifact, oldest first"),
+        ("stats", "entry counts and byte totals per tier"),
+        ("clear", "delete every stored artifact"),
+    ):
+        q = cache_sub.add_parser(name, help=help_text)
+        q.add_argument(
+            "--dir",
+            dest="cache_dir",
+            default=None,
+            help=(
+                "cache directory (default: $REPRO_CACHE_DIR or the "
+                "XDG cache path)"
+            ),
+        )
 
     p = sub.add_parser(
         "runs",
@@ -378,6 +418,11 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     truth = None
     if args.truth is not None:
         truth = GroundTruth.from_labels(_read_labels(args.truth))
+    cache = None
+    if args.cache_dir is not None:
+        from repro.engine.cache import ArtifactCache
+
+        cache = ArtifactCache(directory=args.cache_dir)
     pipe = SymmetrizeClusterPipeline(
         args.method, args.clusterer, threshold=args.threshold
     )
@@ -387,6 +432,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         ground_truth=truth,
         trace=bool(args.trace_out),
         manifest_path=args.runlog,
+        cache=cache,
     )
     _write_labels(result.clustering.labels, args.output)
     print(
@@ -395,6 +441,11 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         f"{result.cluster_seconds:.2f}s "
         f"({result.clustering.n_clusters} clusters)"
     )
+    if cache is not None and result.cache is not None:
+        print(
+            f"artifact cache: {result.cache['hits']} hits, "
+            f"{result.cache['misses']} misses -> {args.cache_dir}"
+        )
     if result.average_f is not None:
         print(f"Avg-F vs ground truth: {result.average_f:.2f}")
     if args.trace_out and result.trace is not None:
@@ -471,6 +522,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         smoke=args.smoke,
         with_cluster=not args.no_cluster,
+        with_cache_sweep=not args.no_cache_sweep,
     )
     path = write_bench(results, args.output)
     print(format_summary(results))
@@ -481,6 +533,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         append_manifest(bench_manifest(results), args.runlog)
         print(f"run manifest appended to {args.runlog}")
     return 0 if results["regression"]["passed"] else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine.cache import ArtifactCache, default_cache_dir
+
+    directory = (
+        Path(args.cache_dir)
+        if args.cache_dir is not None
+        else default_cache_dir()
+    )
+    cache = ArtifactCache(directory=directory)
+    if args.cache_command == "list":
+        entries = cache.entries()
+        if not entries:
+            print(f"no cached artifacts under {directory}")
+            return 0
+        for record in entries:
+            key = record.get("key", "?")
+            print(
+                f"{key[:16]}  nodes={record.get('n_nodes', '?'):>7} "
+                f"nnz={record.get('nnz', '?'):>9} "
+                f"bytes={record.get('nbytes', '?'):>10} "
+                f"plan={record.get('plan', '-')}"
+            )
+        return 0
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"directory:      {stats['directory']}")
+        print(f"disk entries:   {stats['disk_entries']}")
+        print(f"disk bytes:     {stats['disk_bytes']}")
+        return 0
+    # clear
+    removed = cache.clear()
+    print(f"removed {removed} cached artifacts from {directory}")
+    return 0
 
 
 def _select_manifest(manifests, index: int):
@@ -591,6 +678,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
     "bench": _cmd_bench,
+    "cache": _cmd_cache,
     "runs": _cmd_runs,
     "trace": _cmd_trace,
     "experiment": _cmd_experiment,

@@ -212,6 +212,20 @@ class GraphClusterer(abc.ABC):
     ) -> Clustering:
         """Algorithm body (input already validated)."""
 
+    def config(self) -> dict[str, object]:
+        """Identifying parameters (algorithm name + constructor args).
+
+        Mirrors :meth:`repro.symmetrize.Symmetrization.config`: the
+        execution engine folds this into stage fingerprints, so it
+        must cover every attribute that affects :meth:`_cluster`.
+        """
+        params = {
+            key: value
+            for key, value in sorted(vars(self).items())
+            if not key.startswith("_")
+        }
+        return {"algorithm": self.name, **params}
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

@@ -1,0 +1,307 @@
+"""The :class:`Executor`: runs a :class:`~repro.engine.Plan`.
+
+Everything the old ``SymmetrizeClusterPipeline.run`` monolith did
+around each stage now lives here, once, for every caller (pipeline
+facade, sweeps, experiment runners):
+
+- a tracing span per stage (:mod:`repro.obs.trace`);
+- structured warning capture per stage — every
+  :class:`~repro.exceptions.ReproWarning` raised inside a stage is
+  recorded as a :class:`PipelineWarning` instead of reaching the
+  user's warning filters;
+- wall-clock timing per stage, optionally recorded into the ambient
+  :class:`~repro.perf.PerfRecorder` under the stage's ``perf_tag``;
+- validation strictness scoped to the run's mode;
+- content-addressed artifact caching for cacheable stages, keyed on
+  the input dataset fingerprint plus the stage lineage's canonical
+  config hashes, metered as ``cache_hits_total`` /
+  ``cache_misses_total``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+import warnings as _warnings
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.engine.cache import ArtifactCache, current_cache
+from repro.engine.plan import Plan
+from repro.engine.stage import StageContext
+from repro.exceptions import PipelineError, ReproWarning
+from repro.graph.digraph import DirectedGraph
+from repro.graph.ugraph import UndirectedGraph
+from repro.obs.trace import span
+from repro.perf.stopwatch import record_stage
+from repro.validate.invariants import strictness
+
+__all__ = [
+    "EXECUTION_MODES",
+    "Executor",
+    "ExecutionResult",
+    "StageExecution",
+    "PipelineWarning",
+    "capture_stage_warnings",
+]
+
+#: Recognized robustness modes (shared with the pipeline facade).
+EXECUTION_MODES = ("strict", "lenient")
+
+
+@dataclass(frozen=True)
+class PipelineWarning:
+    """One structured warning captured during a run.
+
+    Attributes
+    ----------
+    stage:
+        Which stage emitted it: ``"validate"``, ``"symmetrize"``,
+        ``"prune"``, ``"cluster"`` or ``"evaluate"``.
+    code:
+        Machine-readable identifier from the originating
+        :class:`~repro.exceptions.ReproWarning` (e.g.
+        ``"all_dangling"``, ``"repaired_weights"``).
+    message:
+        Human-readable description.
+    """
+
+    stage: str
+    code: str
+    message: str
+
+
+@contextlib.contextmanager
+def capture_stage_warnings(
+    stage: str, records: list[PipelineWarning]
+) -> Iterator[None]:
+    """Record every ReproWarning raised in the block as a structured
+    :class:`PipelineWarning`; re-emit third-party warnings untouched."""
+    with _warnings.catch_warnings(record=True) as caught:
+        _warnings.simplefilter("always")
+        yield
+    for item in caught:
+        if isinstance(item.message, ReproWarning):
+            records.append(
+                PipelineWarning(
+                    stage=stage,
+                    code=getattr(item.message, "code", "generic"),
+                    message=str(item.message),
+                )
+            )
+        else:
+            _warnings.warn_explicit(
+                item.message, item.category, item.filename, item.lineno
+            )
+
+
+@dataclass(frozen=True)
+class StageExecution:
+    """What happened to one stage of one run.
+
+    ``cached`` is ``None`` for stages that are not cacheable (or ran
+    without a cache), ``True`` for a cache hit and ``False`` for a
+    miss that computed and stored the artifact. ``artifact_key`` is
+    the content address consulted, when any.
+    """
+
+    stage: str
+    seconds: float
+    cached: bool | None = None
+    artifact_key: str | None = None
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one plan execution produced."""
+
+    values: dict[str, Any]
+    executions: list[StageExecution] = field(default_factory=list)
+    warnings: tuple[PipelineWarning, ...] = ()
+    scratch: dict[str, Any] = field(default_factory=dict)
+
+    def seconds(self, stage: str) -> float:
+        """Total wall time of every execution of ``stage``."""
+        return sum(
+            e.seconds for e in self.executions if e.stage == stage
+        )
+
+    def cache_summary(self) -> dict[str, Any]:
+        """The manifest-ready cache section of this run."""
+        hits = sum(1 for e in self.executions if e.cached is True)
+        misses = sum(1 for e in self.executions if e.cached is False)
+        keys = [
+            e.artifact_key
+            for e in self.executions
+            if e.artifact_key is not None
+        ]
+        return {"hits": hits, "misses": misses, "artifact_keys": keys}
+
+
+def _fingerprint_sha(value: Any) -> str:
+    from repro.obs.manifest import fingerprint_graph
+
+    return fingerprint_graph(value)["sha256"]
+
+
+class Executor:
+    """Runs plans with per-stage validation, tracing and caching.
+
+    Parameters
+    ----------
+    mode:
+        ``"strict"`` (default) or ``"lenient"`` — scoped around the
+        whole execution via :func:`repro.validate.strictness`.
+    cache:
+        The artifact cache to consult for cacheable stages. ``None``
+        falls back to the ambient :func:`repro.engine.current_cache`;
+        if there is none either, caching is off for the run.
+    """
+
+    def __init__(
+        self,
+        mode: str = "strict",
+        cache: ArtifactCache | None = None,
+    ) -> None:
+        if mode not in EXECUTION_MODES:
+            raise PipelineError(
+                f"unknown execution mode {mode!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
+        self.mode = mode
+        self._cache = cache
+
+    @property
+    def cache(self) -> ArtifactCache | None:
+        """The effective cache (explicit, else ambient, else none)."""
+        return self._cache if self._cache is not None else (
+            current_cache()
+        )
+
+    def execute(
+        self,
+        plan: Plan,
+        values: dict[str, Any],
+        dataset_sha: str | None = None,
+    ) -> ExecutionResult:
+        """Run ``plan`` over initial ``values``.
+
+        Parameters
+        ----------
+        plan:
+            The stage graph to execute.
+        values:
+            Initial value namespace; must cover ``plan.initial``.
+        dataset_sha:
+            Pre-computed content fingerprint of the plan's input
+            graph. When omitted it is derived (lazily, only if a
+            cacheable stage actually runs with a cache installed) from
+            the first graph-like initial value.
+        """
+        missing = [k for k in plan.initial if k not in values]
+        if missing:
+            raise PipelineError(
+                f"plan {plan.name!r} expects initial values {missing}"
+            )
+        values = dict(values)
+        records: list[PipelineWarning] = []
+        executions: list[StageExecution] = []
+        cache = self.cache
+        ctx = StageContext(mode=self.mode)
+        with strictness(self.mode == "strict"):
+            for index, stage in enumerate(plan.stages):
+                if dataset_sha is None and cache is not None and (
+                    stage.cacheable
+                ):
+                    dataset_sha = self._dataset_sha(plan, values)
+                executions.append(
+                    self._run_stage(
+                        plan, index, stage, ctx, values, records,
+                        cache, dataset_sha,
+                    )
+                )
+        return ExecutionResult(
+            values=values,
+            executions=executions,
+            warnings=tuple(records),
+            scratch=ctx.scratch,
+        )
+
+    def _dataset_sha(
+        self, plan: Plan, values: dict[str, Any]
+    ) -> str:
+        for name in plan.initial:
+            value = values.get(name)
+            if isinstance(value, (DirectedGraph, UndirectedGraph)):
+                return _fingerprint_sha(value)
+        raise PipelineError(
+            f"plan {plan.name!r} has no graph-like initial value to "
+            "fingerprint for the artifact cache"
+        )
+
+    def _run_stage(
+        self,
+        plan: Plan,
+        index: int,
+        stage: Any,
+        ctx: StageContext,
+        values: dict[str, Any],
+        records: list[PipelineWarning],
+        cache: ArtifactCache | None,
+        dataset_sha: str | None,
+    ) -> StageExecution:
+        use_cache = (
+            cache is not None
+            and stage.cacheable
+            and dataset_sha is not None
+            and len(stage.outputs) == 1
+        )
+        key = (
+            plan.artifact_key(dataset_sha, index, mode=self.mode)
+            if use_cache
+            else None
+        )
+        cached: bool | None = None
+        t0 = time.perf_counter()
+        with span(stage.name) as sp_, capture_stage_warnings(
+            stage.name, records
+        ):
+            outputs = None
+            if key is not None:
+                artifact = cache.get(key)
+                if artifact is not None:
+                    outputs = {stage.outputs[0]: artifact}
+                    cached = True
+                    sp_.set(cache="hit", artifact_key=key[:16])
+            if outputs is None:
+                outputs = stage.run(ctx, values)
+                if key is not None:
+                    cached = False
+                    cache.put(
+                        key,
+                        outputs[stage.outputs[0]],
+                        meta={
+                            "plan": plan.name,
+                            "mode": self.mode,
+                            "dataset_sha": dataset_sha,
+                            "lineage": [
+                                s.config()
+                                for s in plan.stages[: index + 1]
+                            ],
+                        },
+                    )
+                    sp_.set(cache="miss", artifact_key=key[:16])
+        seconds = time.perf_counter() - t0
+        if stage.perf_tag is not None:
+            record_stage(
+                stage.perf_tag,
+                seconds,
+                **stage.counters(values, outputs),
+            )
+        values.update(outputs)
+        return StageExecution(
+            stage=stage.name,
+            seconds=seconds,
+            cached=cached,
+            artifact_key=key,
+        )

@@ -1,0 +1,112 @@
+"""A :class:`Plan` composes stages into a validated execution graph.
+
+The plan is a linear stage graph over a shared value namespace: each
+stage consumes named values produced by earlier stages (or supplied as
+initial values) and publishes its outputs back into the namespace.
+Wiring is validated at construction, so a mis-ordered plan fails fast
+instead of at execution time.
+
+Plans also define the cache lineage: :meth:`Plan.artifact_key` chains
+the dataset fingerprint with the stage fingerprints up to a given
+stage, producing the content address under which that stage's output
+artifact is stored (see :mod:`repro.engine.cache`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.engine.cache import artifact_key
+from repro.engine.stage import Stage
+from repro.exceptions import PipelineError
+
+__all__ = ["Plan"]
+
+
+class Plan:
+    """An ordered, wiring-checked sequence of stages.
+
+    Parameters
+    ----------
+    stages:
+        The stages in execution order.
+    initial:
+        Names of the values the caller will supply to
+        :meth:`~repro.engine.executor.Executor.execute` (e.g.
+        ``("graph",)`` or ``("symmetrized", "ground_truth")``).
+    name:
+        Human label for traces and error messages.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        initial: Sequence[str] = ("graph",),
+        name: str = "plan",
+    ) -> None:
+        self.stages: tuple[Stage, ...] = tuple(stages)
+        self.initial: tuple[str, ...] = tuple(initial)
+        self.name = name
+        if not self.stages:
+            raise PipelineError(f"plan {name!r} has no stages")
+        available = set(self.initial)
+        for i, stage in enumerate(self.stages):
+            if not isinstance(stage, Stage):
+                raise PipelineError(
+                    f"plan {name!r} stage {i} is not a Stage: "
+                    f"{stage!r}"
+                )
+            missing = [k for k in stage.inputs if k not in available]
+            if missing:
+                raise PipelineError(
+                    f"plan {name!r} stage {i} ({stage.name!r}) needs "
+                    f"{missing} but only {sorted(available)} are "
+                    "available at that point"
+                )
+            available.update(stage.outputs)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self.stages)
+
+    def lineage(self, upto: int) -> list[str]:
+        """Stage fingerprints from the input through stage ``upto``."""
+        if not 0 <= upto < len(self.stages):
+            raise PipelineError(
+                f"stage index {upto} out of range for plan "
+                f"{self.name!r} with {len(self.stages)} stages"
+            )
+        return [s.fingerprint() for s in self.stages[: upto + 1]]
+
+    def artifact_key(
+        self, dataset_sha: str, upto: int, mode: str = "strict"
+    ) -> str:
+        """Content address of stage ``upto``'s output artifact.
+
+        Chains the dataset fingerprint with the fingerprints of every
+        stage up to and including ``upto`` — so the key changes when
+        the dataset, any upstream stage configuration, or the stage
+        order changes, and is unchanged otherwise.
+        """
+        return artifact_key(
+            dataset_sha, self.lineage(upto), mode=mode
+        )
+
+    def describe(self) -> list[dict[str, Any]]:
+        """One JSON-friendly record per stage (for manifests/docs)."""
+        return [
+            {
+                "stage": type(s).__name__,
+                "name": s.name,
+                "config": s.config(),
+                "cacheable": s.cacheable,
+                "fingerprint": s.fingerprint()[:16],
+            }
+            for s in self.stages
+        ]
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(s.name for s in self.stages)
+        return f"Plan({self.name!r}: {chain})"

@@ -11,6 +11,7 @@ entry points are :func:`run_experiment` and
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -22,10 +23,15 @@ from repro.cluster import (
 from repro.directed.objectives import clustering_ncut
 from repro.directed.wcut import best_wcut
 from repro.directed.zhou import ZhouDirectedSpectral
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.plan import Plan
+from repro.engine.stage import Stage
+from repro.engine.stages import ClusterStage, EvaluateStage
 from repro.eval.fmeasure import (
     average_f_score,
     correctly_clustered_mask,
 )
+from repro.eval.groundtruth import GroundTruth
 from repro.eval.significance import sign_test
 from repro.exceptions import ReproError
 from repro.experiments.support import (
@@ -43,12 +49,16 @@ from repro.graph.stats import (
     log_binned_degree_histogram,
     percent_symmetric_links,
 )
+from repro.graph.ugraph import UndirectedGraph
 from repro.linalg.pagerank import pagerank
 from repro.linalg.sparse_utils import top_k_entries
 from repro.pipeline.report import format_series, format_table
 from repro.pipeline.sweep import sweep_alpha_beta, sweep_threshold
 from repro.symmetrize import symmetrize
-from repro.symmetrize.pruning import singleton_fraction
+from repro.symmetrize.pruning import (
+    choose_threshold_for_degree,
+    singleton_fraction,
+)
 
 __all__ = [
     "available_experiments",
@@ -201,71 +211,270 @@ def run_fig4(bundle: DatasetBundle) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
-# Figure 5
+# Figures 5, 7, 8, 9 — spec-driven quality/timing panels
 # ---------------------------------------------------------------------------
+#
+# The paper's eight figure panels are all the same experiment with
+# different coordinates: build one symmetrized graph per series from a
+# per-series recipe, run a clustering plan through the engine at every
+# cluster count, and report either Avg-F (quality panels) or seconds
+# (timing panels). One declarative spec per panel replaces the four
+# near-identical `_run_figN_panel` helpers.
 
 FIG5_CLUSTER_COUNTS = [15, 20, 25, 35, 50]
+FIG7_CLUSTER_COUNTS = [25, 38, 55, 80]
+FIG8_CLUSTER_COUNTS = [25, 55, 80]
+FIG8_SERIES = ["degree_discounted", "naive", "bibliometric"]
+FIG9_CLUSTER_COUNTS = [50, 100, 200]
+FIG9_SERIES = ["degree_discounted", "naive", "random_walk"]
+
+#: Graph recipes a panel series can ask for: the unpruned artifact,
+#: the §5.3.1 density-matched prune, or an edge budget matched to
+#: another (already built) series — how the paper matched
+#: Bibliometric's edge count to Degree-discounted's.
+_FULL = ("full",)
 
 
-def _fig5_graphs(ds, target_degree: float) -> dict:
-    graphs = {}
-    for name in SYMMETRIZATIONS:
-        if name in ("naive", "random_walk"):
-            graphs[name] = full_symmetrization(ds.graph, name)
-        else:
+def _pruned(target_degree: float) -> tuple:
+    return ("pruned", target_degree)
+
+
+def _match(other: str) -> tuple:
+    return ("match", other)
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """Everything that distinguishes one figure panel from another."""
+
+    experiment: str
+    figure: str
+    dataset: str  #: :class:`DatasetBundle` accessor name.
+    subject: str  #: Title tail; may reference ``{dataset}``.
+    clusterer: type  #: Factory; a fresh instance per grid point.
+    cluster_counts: tuple[int, ...]
+    series: tuple[str, ...]
+    recipes: dict[str, tuple] = field(default_factory=dict)
+    kind: str = "quality"  #: ``"quality"`` or ``"timing"``.
+    with_ncut: bool = False
+
+
+def _panel_graphs(
+    graph, recipes: dict[str, tuple]
+) -> dict[str, UndirectedGraph]:
+    """Build each series' symmetrized graph from its recipe.
+
+    Two passes so an edge-budget match can reference another series'
+    graph regardless of declaration order.
+    """
+    graphs: dict[str, UndirectedGraph] = {}
+    for name, recipe in recipes.items():
+        if recipe[0] == "full":
+            graphs[name] = full_symmetrization(graph, name)
+        elif recipe[0] == "pruned":
             graphs[name], _ = pruned_symmetrization(
-                ds.graph, name, target_degree=target_degree
+                graph, name, target_degree=recipe[1]
+            )
+    for name, recipe in recipes.items():
+        if recipe[0] == "match":
+            graphs[name], _ = match_edge_budget(
+                full_symmetrization(graph, name),
+                graphs[recipe[1]].n_edges,
             )
     return graphs
 
 
-def _quality_sweep(clusterer_factory, undirected, ground_truth, counts):
-    ks, fs = [], []
-    for k in counts:
-        clustering = clusterer_factory().cluster(undirected, k)
-        ks.append(clustering.n_clusters)
-        fs.append(average_f_score(clustering, ground_truth))
-    return ks, fs
+def _cluster_point(
+    symmetrized: UndirectedGraph,
+    clusterer,
+    n_clusters: int,
+    ground_truth: GroundTruth | None = None,
+) -> ExecutionResult:
+    """Run one cluster(+evaluate) plan through the engine."""
+    stages: list[Stage] = [ClusterStage(clusterer, n_clusters)]
+    initial = ["symmetrized"]
+    values: dict[str, object] = {"symmetrized": symmetrized}
+    if ground_truth is not None:
+        stages.append(EvaluateStage())
+        initial.append("ground_truth")
+        values["ground_truth"] = ground_truth
+    plan = Plan(
+        stages,
+        initial=tuple(initial),
+        name=f"experiments.cluster_point[k={n_clusters}]",
+    )
+    return Executor(mode="strict").execute(plan, values)
 
 
-def _run_fig5_panel(
-    bundle: DatasetBundle,
-    clusterer_factory,
-    experiment: str,
-    target_degree: float,
+def _quality_panel(
+    spec: PanelSpec, ds, graphs: dict, title: str
 ) -> ExperimentResult:
-    ds = bundle.cora()
-    graphs = _fig5_graphs(ds, target_degree)
-    results = {
-        name: _quality_sweep(
-            clusterer_factory, graphs[name], ds.ground_truth,
-            FIG5_CLUSTER_COUNTS,
-        )
-        for name in SYMMETRIZATIONS
-    }
+    results = {}
+    for name in spec.series:
+        ks, fs = [], []
+        for k in spec.cluster_counts:
+            execution = _cluster_point(
+                graphs[name], spec.clusterer(), int(k),
+                ds.ground_truth,
+            )
+            ks.append(execution.values["clustering"].n_clusters)
+            fs.append(execution.values["average_f"])
+        results[name] = (ks, fs)
     lines = [
         format_series(
             DISPLAY[name], results[name][0], results[name][1],
             x_label="#clusters", y_label="AvgF",
         )
-        for name in SYMMETRIZATIONS
+        for name in spec.series
     ]
-    peaks = {name: max(results[name][1]) for name in SYMMETRIZATIONS}
-    title = f"Figure 5 ({experiment}): Cora Avg-F vs #clusters"
+    peaks = {name: max(results[name][1]) for name in spec.series}
     return ExperimentResult(
-        experiment, title, "\n".join(lines),
+        spec.experiment, title, "\n".join(lines),
         {"series": results, "peaks": peaks},
+    )
+
+
+def _timing_panel(
+    spec: PanelSpec, ds, graphs: dict, title: str
+) -> ExperimentResult:
+    counts = list(spec.cluster_counts)
+    times, ncuts, achieved = {}, {}, {}
+    for name in spec.series:
+        per_k = []
+        clustering = None
+        for k in counts:
+            execution = _cluster_point(
+                graphs[name], spec.clusterer(), int(k)
+            )
+            clustering = execution.values["clustering"]
+            per_k.append(execution.seconds("cluster"))
+        times[name] = per_k
+        if spec.with_ncut:
+            achieved[name] = clustering.n_clusters
+            ncuts[name] = clustering_ncut(
+                graphs[name], clustering.labels
+            )
+    lines = [
+        format_series(
+            DISPLAY[name], counts, times[name],
+            x_label="#clusters", y_label="seconds",
+        )
+        for name in spec.series
+    ]
+    data: dict = {"times": times}
+    if spec.with_ncut:
+        lines.append(
+            "k-way normalized cuts at top k (lower = cleaner "
+            "structure): "
+            + ", ".join(
+                f"{DISPLAY[n]}={ncuts[n]:.2f} (k={achieved[n]})"
+                for n in spec.series
+            )
+        )
+        data = {
+            "times": times,
+            "ncuts": ncuts,
+            "achieved": achieved,
+            "cluster_counts": counts,
+        }
+    return ExperimentResult(
+        spec.experiment, title, "\n".join(lines), data
+    )
+
+
+def _run_panel(bundle: DatasetBundle, spec: PanelSpec) -> ExperimentResult:
+    ds = getattr(bundle, spec.dataset)()
+    graphs = _panel_graphs(ds.graph, spec.recipes)
+    title = (
+        f"{spec.figure} ({spec.experiment}): "
+        + spec.subject.format(dataset=ds.name)
+    )
+    if spec.kind == "quality":
+        return _quality_panel(spec, ds, graphs, title)
+    return _timing_panel(spec, ds, graphs, title)
+
+
+def _fig5_spec(experiment: str, clusterer: type, deg: float) -> PanelSpec:
+    return PanelSpec(
+        experiment=experiment,
+        figure="Figure 5",
+        dataset="cora",
+        subject="Cora Avg-F vs #clusters",
+        clusterer=clusterer,
+        cluster_counts=tuple(FIG5_CLUSTER_COUNTS),
+        series=tuple(SYMMETRIZATIONS),
+        recipes={
+            "degree_discounted": _pruned(deg),
+            "bibliometric": _pruned(deg),
+            "naive": _FULL,
+            "random_walk": _FULL,
+        },
+    )
+
+
+def _fig7_spec(experiment: str, clusterer: type) -> PanelSpec:
+    return PanelSpec(
+        experiment=experiment,
+        figure="Figure 7",
+        dataset="wiki",
+        subject="Wikipedia Avg-F vs #clusters",
+        clusterer=clusterer,
+        cluster_counts=tuple(FIG7_CLUSTER_COUNTS),
+        series=tuple(SYMMETRIZATIONS),
+        recipes={
+            "degree_discounted": _pruned(25.0),
+            "bibliometric": _match("degree_discounted"),
+            "naive": _FULL,
+            "random_walk": _FULL,
+        },
+    )
+
+
+def _fig8_spec(experiment: str, clusterer: type) -> PanelSpec:
+    return PanelSpec(
+        experiment=experiment,
+        figure="Figure 8",
+        dataset="wiki",
+        subject="Wikipedia clustering times",
+        clusterer=clusterer,
+        cluster_counts=tuple(FIG8_CLUSTER_COUNTS),
+        series=tuple(FIG8_SERIES),
+        recipes={
+            "degree_discounted": _pruned(25.0),
+            "bibliometric": _match("degree_discounted"),
+            "naive": _FULL,
+        },
+        kind="timing",
+        with_ncut=True,
+    )
+
+
+def _fig9_spec(experiment: str, dataset: str) -> PanelSpec:
+    return PanelSpec(
+        experiment=experiment,
+        figure="Figure 9",
+        dataset=dataset,
+        subject="{dataset} clustering times",
+        clusterer=MLRMCL,
+        cluster_counts=tuple(FIG9_CLUSTER_COUNTS),
+        series=tuple(FIG9_SERIES),
+        recipes={
+            "degree_discounted": _pruned(30.0),
+            "naive": _FULL,
+            "random_walk": _FULL,
+        },
+        kind="timing",
     )
 
 
 def run_fig5a(bundle: DatasetBundle) -> ExperimentResult:
     """Figure 5(a): Cora quality with MLR-MCL."""
-    return _run_fig5_panel(bundle, MLRMCL, "fig5a", 20.0)
+    return _run_panel(bundle, _fig5_spec("fig5a", MLRMCL, 20.0))
 
 
 def run_fig5b(bundle: DatasetBundle) -> ExperimentResult:
     """Figure 5(b): Cora quality with Graclus."""
-    return _run_fig5_panel(bundle, GraclusClusterer, "fig5b", 40.0)
+    return _run_panel(bundle, _fig5_spec("fig5b", GraclusClusterer, 40.0))
 
 
 # ---------------------------------------------------------------------------
@@ -314,172 +523,38 @@ def run_fig6(bundle: DatasetBundle) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
-# Figure 7
+# Figures 7, 8, 9 — panels of the shared spec engine above
 # ---------------------------------------------------------------------------
-
-FIG7_CLUSTER_COUNTS = [25, 38, 55, 80]
-
-
-def _fig7_graphs(ds) -> dict:
-    graphs = {}
-    dd, _ = pruned_symmetrization(
-        ds.graph, "degree_discounted", target_degree=25.0
-    )
-    graphs["degree_discounted"] = dd
-    graphs["bibliometric"], _ = match_edge_budget(
-        full_symmetrization(ds.graph, "bibliometric"), dd.n_edges
-    )
-    graphs["naive"] = full_symmetrization(ds.graph, "naive")
-    graphs["random_walk"] = full_symmetrization(ds.graph, "random_walk")
-    return graphs
-
-
-def _run_fig7_panel(
-    bundle: DatasetBundle, clusterer_factory, experiment: str
-) -> ExperimentResult:
-    ds = bundle.wiki()
-    graphs = _fig7_graphs(ds)
-    results = {
-        name: _quality_sweep(
-            clusterer_factory, graphs[name], ds.ground_truth,
-            FIG7_CLUSTER_COUNTS,
-        )
-        for name in SYMMETRIZATIONS
-    }
-    lines = [
-        format_series(
-            DISPLAY[name], results[name][0], results[name][1],
-            x_label="#clusters", y_label="AvgF",
-        )
-        for name in SYMMETRIZATIONS
-    ]
-    peaks = {name: max(results[name][1]) for name in SYMMETRIZATIONS}
-    title = f"Figure 7 ({experiment}): Wikipedia Avg-F vs #clusters"
-    return ExperimentResult(
-        experiment, title, "\n".join(lines),
-        {"series": results, "peaks": peaks},
-    )
 
 
 def run_fig7a(bundle: DatasetBundle) -> ExperimentResult:
     """Figure 7(a): Wikipedia quality with MLR-MCL."""
-    return _run_fig7_panel(bundle, MLRMCL, "fig7a")
+    return _run_panel(bundle, _fig7_spec("fig7a", MLRMCL))
 
 
 def run_fig7b(bundle: DatasetBundle) -> ExperimentResult:
     """Figure 7(b): Wikipedia quality with Metis."""
-    return _run_fig7_panel(bundle, MetisClusterer, "fig7b")
-
-
-# ---------------------------------------------------------------------------
-# Figure 8
-# ---------------------------------------------------------------------------
-
-FIG8_CLUSTER_COUNTS = [25, 55, 80]
-FIG8_SERIES = ["degree_discounted", "naive", "bibliometric"]
-
-
-def _run_fig8_panel(
-    bundle: DatasetBundle, clusterer_factory, experiment: str
-) -> ExperimentResult:
-    ds = bundle.wiki()
-    graphs = {}
-    dd, _ = pruned_symmetrization(
-        ds.graph, "degree_discounted", target_degree=25.0
-    )
-    graphs["degree_discounted"] = dd
-    graphs["bibliometric"], _ = match_edge_budget(
-        full_symmetrization(ds.graph, "bibliometric"), dd.n_edges
-    )
-    graphs["naive"] = full_symmetrization(ds.graph, "naive")
-    times, ncuts, achieved = {}, {}, {}
-    for name in FIG8_SERIES:
-        per_k = []
-        clustering = None
-        for k in FIG8_CLUSTER_COUNTS:
-            t0 = time.perf_counter()
-            clustering = clusterer_factory().cluster(graphs[name], k)
-            per_k.append(time.perf_counter() - t0)
-        times[name] = per_k
-        achieved[name] = clustering.n_clusters
-        ncuts[name] = clustering_ncut(graphs[name], clustering.labels)
-    lines = [
-        format_series(
-            DISPLAY[name], FIG8_CLUSTER_COUNTS, times[name],
-            x_label="#clusters", y_label="seconds",
-        )
-        for name in FIG8_SERIES
-    ]
-    lines.append(
-        "k-way normalized cuts at top k (lower = cleaner structure): "
-        + ", ".join(
-            f"{DISPLAY[n]}={ncuts[n]:.2f} (k={achieved[n]})"
-            for n in FIG8_SERIES
-        )
-    )
-    title = f"Figure 8 ({experiment}): Wikipedia clustering times"
-    return ExperimentResult(
-        experiment, title, "\n".join(lines),
-        {"times": times, "ncuts": ncuts, "achieved": achieved,
-         "cluster_counts": FIG8_CLUSTER_COUNTS},
-    )
+    return _run_panel(bundle, _fig7_spec("fig7b", MetisClusterer))
 
 
 def run_fig8a(bundle: DatasetBundle) -> ExperimentResult:
     """Figure 8(a): Wikipedia times with MLR-MCL."""
-    return _run_fig8_panel(bundle, MLRMCL, "fig8a")
+    return _run_panel(bundle, _fig8_spec("fig8a", MLRMCL))
 
 
 def run_fig8b(bundle: DatasetBundle) -> ExperimentResult:
     """Figure 8(b): Wikipedia times with Metis."""
-    return _run_fig8_panel(bundle, MetisClusterer, "fig8b")
-
-
-# ---------------------------------------------------------------------------
-# Figure 9
-# ---------------------------------------------------------------------------
-
-FIG9_CLUSTER_COUNTS = [50, 100, 200]
-FIG9_SERIES = ["degree_discounted", "naive", "random_walk"]
-
-
-def _run_fig9_panel(ds, experiment: str) -> ExperimentResult:
-    graphs = {
-        "degree_discounted": pruned_symmetrization(
-            ds.graph, "degree_discounted", target_degree=30.0
-        )[0],
-        "naive": full_symmetrization(ds.graph, "naive"),
-        "random_walk": full_symmetrization(ds.graph, "random_walk"),
-    }
-    times = {}
-    for name in FIG9_SERIES:
-        per_k = []
-        for k in FIG9_CLUSTER_COUNTS:
-            t0 = time.perf_counter()
-            MLRMCL().cluster(graphs[name], k)
-            per_k.append(time.perf_counter() - t0)
-        times[name] = per_k
-    lines = [
-        format_series(
-            DISPLAY[name], FIG9_CLUSTER_COUNTS, times[name],
-            x_label="#clusters", y_label="seconds",
-        )
-        for name in FIG9_SERIES
-    ]
-    title = f"Figure 9 ({experiment}): {ds.name} clustering times"
-    return ExperimentResult(
-        experiment, title, "\n".join(lines), {"times": times}
-    )
+    return _run_panel(bundle, _fig8_spec("fig8b", MetisClusterer))
 
 
 def run_fig9a(bundle: DatasetBundle) -> ExperimentResult:
     """Figure 9(a): Flickr clustering times."""
-    return _run_fig9_panel(bundle.flickr(), "fig9a")
+    return _run_panel(bundle, _fig9_spec("fig9a", "flickr"))
 
 
 def run_fig9b(bundle: DatasetBundle) -> ExperimentResult:
     """Figure 9(b): LiveJournal clustering times."""
-    return _run_fig9_panel(bundle.livejournal(), "fig9b")
+    return _run_panel(bundle, _fig9_spec("fig9b", "livejournal"))
 
 
 # ---------------------------------------------------------------------------
@@ -489,8 +564,6 @@ def run_fig9b(bundle: DatasetBundle) -> ExperimentResult:
 
 def run_table3(bundle: DatasetBundle) -> ExperimentResult:
     """Table 3: prune-threshold effect on edges / F / time."""
-    from repro.symmetrize.pruning import choose_threshold_for_degree
-
     ds = bundle.wiki()
     full = full_symmetrization(ds.graph, "degree_discounted")
     lo = choose_threshold_for_degree(

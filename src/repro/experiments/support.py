@@ -3,6 +3,14 @@
 Holds the benchmark dataset bundle (the synthetic stand-ins at a
 configurable scale, cached per scale), the result container, and the
 symmetrize-and-prune helpers every experiment uses.
+
+Symmetrization artifacts are shared across experiments through the
+engine's content-addressed :class:`~repro.engine.ArtifactCache` —
+keyed on the dataset fingerprint and the symmetrization config, not
+on Python object identity — so re-running an experiment on an equal
+graph (same bundle, a reloaded dataset, another process with a
+disk-backed cache) reuses the artifact where the old id()-keyed cache
+could not.
 """
 
 from __future__ import annotations
@@ -19,6 +27,10 @@ from repro.datasets import (
     make_livejournal_like,
     make_wikipedia_like,
 )
+from repro.engine.cache import ArtifactCache, current_cache
+from repro.engine.executor import Executor
+from repro.engine.plan import Plan
+from repro.engine.stages import SymmetrizeStage
 from repro.graph.digraph import DirectedGraph
 from repro.graph.ugraph import UndirectedGraph
 from repro.symmetrize import get_symmetrization
@@ -32,6 +44,7 @@ __all__ = [
     "DISPLAY",
     "ExperimentResult",
     "DatasetBundle",
+    "experiment_cache",
     "full_symmetrization",
     "pruned_symmetrization",
     "match_edge_budget",
@@ -149,17 +162,39 @@ def shared_bundle(scale: float = 1.0, seed: int = 0) -> DatasetBundle:
     return cache[key]
 
 
-_FULL_CACHE: dict[tuple[int, str], UndirectedGraph] = {}
+#: Process-wide in-memory artifact cache the experiment runners share.
+_ARTIFACTS = ArtifactCache()
+
+
+def experiment_cache() -> ArtifactCache:
+    """The artifact cache experiment helpers run against.
+
+    An ambient :func:`repro.engine.artifact_cache` block (e.g. a
+    disk-backed cache installed by the CLI) takes precedence; without
+    one the runners share a process-wide in-memory cache, which is the
+    cross-experiment reuse the old identity-keyed cache provided.
+    """
+    ambient = current_cache()
+    return ambient if ambient is not None else _ARTIFACTS
 
 
 def full_symmetrization(
     graph: DirectedGraph, name: str
 ) -> UndirectedGraph:
-    """Unpruned symmetrized graph, cached per (graph identity, method)."""
-    key = (id(graph), name)
-    if key not in _FULL_CACHE:
-        _FULL_CACHE[key] = get_symmetrization(name).apply(graph)
-    return _FULL_CACHE[key]
+    """Unpruned symmetrized graph, content-addressed-cached.
+
+    Runs a one-stage engine plan so the artifact is keyed on the
+    dataset fingerprint plus the symmetrization config and lands in
+    :func:`experiment_cache` — shared across experiments, equal graph
+    objects, and (with a disk cache installed) across processes.
+    """
+    plan = Plan(
+        [SymmetrizeStage(get_symmetrization(name))],
+        initial=("graph",),
+        name=f"experiments.full_symmetrization[{name}]",
+    )
+    executor = Executor(mode="strict", cache=experiment_cache())
+    return executor.execute(plan, {"graph": graph}).values["symmetrized"]
 
 
 def pruned_symmetrization(

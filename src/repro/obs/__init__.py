@@ -29,6 +29,7 @@ See ``docs/observability.md`` for a guide.
 
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
+    SUPPORTED_SCHEMAS,
     RunManifest,
     append_manifest,
     collect_environment,
@@ -81,6 +82,7 @@ __all__ = [
     "metric_observe",
     # manifests
     "MANIFEST_SCHEMA",
+    "SUPPORTED_SCHEMAS",
     "RunManifest",
     "fingerprint_graph",
     "collect_environment",

@@ -34,6 +34,7 @@ from repro.exceptions import ReproError
 
 __all__ = [
     "MANIFEST_SCHEMA",
+    "SUPPORTED_SCHEMAS",
     "RunManifest",
     "fingerprint_graph",
     "collect_environment",
@@ -45,7 +46,12 @@ __all__ = [
 
 #: Schema identifier embedded in every manifest; bump on breaking
 #: changes to the JSON shape (tests/data/manifest_golden.json pins it).
-MANIFEST_SCHEMA = "repro-run-manifest/v1"
+#: v2 added the ``cache`` section (artifact-cache provenance).
+MANIFEST_SCHEMA = "repro-run-manifest/v2"
+
+#: Schemas :meth:`RunManifest.from_dict` can still read. v1 manifests
+#: (pre-artifact-cache) load with an empty ``cache`` section.
+SUPPORTED_SCHEMAS = ("repro-run-manifest/v1", "repro-run-manifest/v2")
 
 
 def fingerprint_graph(graph: Any) -> dict[str, Any]:
@@ -131,6 +137,11 @@ class RunManifest:
         trees); empty when the run was not traced.
     metrics:
         :meth:`~repro.obs.metrics.MetricsRegistry.as_dict` snapshot.
+    cache:
+        Artifact-cache provenance (``enabled``, ``hits``, ``misses``,
+        ``artifact_keys``) when the run consulted the
+        content-addressed cache; empty otherwise (and for v1
+        manifests, which predate the cache).
     timings:
         Headline stage durations in seconds.
     """
@@ -145,6 +156,7 @@ class RunManifest:
     warnings: list[dict[str, str]] = field(default_factory=list)
     trace: list[dict[str, Any]] = field(default_factory=list)
     metrics: dict[str, Any] = field(default_factory=dict)
+    cache: dict[str, Any] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -161,17 +173,23 @@ class RunManifest:
             "warnings": self.warnings,
             "trace": self.trace,
             "metrics": self.metrics,
+            "cache": self.cache,
             "timings": self.timings,
         }
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "RunManifest":
-        """Rebuild a manifest from :meth:`as_dict` output."""
+        """Rebuild a manifest from :meth:`as_dict` output.
+
+        Accepts every schema in :data:`SUPPORTED_SCHEMAS`; v1 lines
+        (written before the artifact cache existed) load with an
+        empty ``cache`` section.
+        """
         schema = payload.get("schema")
-        if schema != MANIFEST_SCHEMA:
+        if schema not in SUPPORTED_SCHEMAS:
             raise ReproError(
                 f"unsupported manifest schema {schema!r}; "
-                f"expected {MANIFEST_SCHEMA!r}"
+                f"expected one of {SUPPORTED_SCHEMAS}"
             )
         return cls(
             kind=payload["kind"],
@@ -184,6 +202,7 @@ class RunManifest:
             warnings=list(payload.get("warnings", [])),
             trace=list(payload.get("trace", [])),
             metrics=dict(payload.get("metrics", {})),
+            cache=dict(payload.get("cache", {})),
             timings=dict(payload.get("timings", {})),
         )
 
@@ -300,6 +319,7 @@ def diff_manifests(
         "config": _dict_changes(a.config, b.config),
         "dataset": _dict_changes(a.dataset, b.dataset),
         "environment": _dict_changes(a.environment, b.environment),
+        "cache": _dict_changes(a.cache, b.cache),
         "metrics": metric_deltas,
         "timings": timing_deltas,
         "warnings": {
@@ -312,8 +332,8 @@ def diff_manifests(
 def format_diff(diff: dict[str, Any]) -> str:
     """Human-readable rendering of :func:`diff_manifests` output."""
     lines = [f"diff: {diff['runs'][0]}  vs  {diff['runs'][1]}"]
-    for section in ("config", "dataset", "environment"):
-        changes = diff[section]
+    for section in ("config", "dataset", "environment", "cache"):
+        changes = diff.get(section)
         if not changes:
             continue
         lines.append(f"{section}:")

@@ -199,9 +199,14 @@ class Tracer:
         self, name: str, attributes: dict[str, Any] | None = None
     ) -> Iterator[Span]:
         """Open a span as the child of the innermost open span."""
+        # One timestamp serves as both the start and the wall-clock
+        # origin, so start + wall_seconds is exactly the exit time and
+        # a child interval can never leak past its parent's — the
+        # Chrome-trace round-trip recovers nesting from containment.
+        wall0 = time.perf_counter()
         node = Span(
             name=name,
-            start=time.perf_counter() - self._epoch,
+            start=wall0 - self._epoch,
             attributes=dict(attributes) if attributes else {},
         )
         parent = self._stack[-1] if self._stack else None
@@ -214,7 +219,6 @@ class Tracer:
             if tracemalloc.is_tracing():
                 mem0 = tracemalloc.get_traced_memory()[0]
             rss0 = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-        wall0 = time.perf_counter()
         cpu0 = time.process_time()
         try:
             yield node

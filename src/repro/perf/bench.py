@@ -53,7 +53,9 @@ __all__ = [
 #: Schema identifier embedded in the JSON for forward compatibility.
 #: v2 added the per-run ``"metrics"`` key (observability registry
 #: snapshot: MCL iteration counts, prune fractions, engine totals).
-BENCH_SCHEMA = "repro-bench-allpairs/v2"
+#: v3 added the top-level ``"cache"`` block (cold-vs-warm artifact
+#: cache sweep: seconds, speedup, hit/miss counters).
+BENCH_SCHEMA = "repro-bench-allpairs/v3"
 
 #: Full-sweep defaults: sizes bracket the regime where the pure-Python
 #: engine is still tolerable; thresholds bracket the Table-3 operating
@@ -149,6 +151,57 @@ def _cluster_run(graph, symmetrized, threshold: float) -> dict[str, Any]:
     }
 
 
+def _cache_sweep_block(
+    n_nodes: int, thresholds: Sequence[float], seed: int
+) -> dict[str, Any]:
+    """Cold-vs-warm ``sweep_threshold`` through one artifact cache.
+
+    The cold pass computes and stores the shared symmetrization
+    artifact plus one pruned artifact per threshold; the warm pass is
+    served entirely from the cache, so its wall-clock isolates the
+    clusterer. The block records both timings, the hit/miss counters
+    and whether the two passes produced identical sweeps — the
+    engine-cache acceptance criteria, measured where perf trends are
+    tracked.
+    """
+    from repro.engine.cache import ArtifactCache
+    from repro.pipeline.sweep import sweep_threshold
+
+    graph = _bench_graph(int(n_nodes), seed)
+    cache = ArtifactCache()
+    passes = []
+    points = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        points.append(
+            sweep_threshold(
+                graph,
+                thresholds=[float(t) for t in thresholds],
+                clusterer="mlrmcl",
+                n_clusters=20,
+                cache=cache,
+            )
+        )
+        passes.append(time.perf_counter() - t0)
+    cold, warm = points
+    identical = len(cold) == len(warm) and all(
+        a.n_edges == b.n_edges and a.n_clusters == b.n_clusters
+        for a, b in zip(cold, warm)
+    )
+    return {
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "thresholds": [float(t) for t in thresholds],
+        "cold_seconds": passes[0],
+        "warm_seconds": passes[1],
+        "speedup": passes[0] / max(passes[1], 1e-12),
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "warm_all_hits": all(bool(p.cache_hit) for p in warm),
+        "identical": identical,
+    }
+
+
 def run_bench(
     sizes: Sequence[int] | None = None,
     thresholds: Sequence[float] | None = None,
@@ -157,6 +210,7 @@ def run_bench(
     seed: int = 0,
     smoke: bool = False,
     with_cluster: bool = True,
+    with_cache_sweep: bool = True,
 ) -> dict[str, Any]:
     """Run the symmetrize + cluster sweep; returns the results dict.
 
@@ -178,6 +232,9 @@ def run_bench(
         floor (vectorized merely must not be slower than python).
     with_cluster:
         Also time MLR-MCL on the vectorized backend's output.
+    with_cache_sweep:
+        Also run the cold-vs-warm artifact-cache sweep (the ``"cache"``
+        block) at the largest benched size.
     """
     from repro.symmetrize.degree_discounted import (
         DegreeDiscountedSymmetrization,
@@ -221,6 +278,11 @@ def run_bench(
     regression = _regression_block(
         speedups, sizes, thresholds, min_speedup
     )
+    cache_block = (
+        _cache_sweep_block(int(max(sizes)), thresholds, seed)
+        if with_cache_sweep
+        else None
+    )
     return {
         "schema": BENCH_SCHEMA,
         "config": {
@@ -231,6 +293,7 @@ def run_bench(
             "seed": seed,
             "smoke": smoke,
             "with_cluster": with_cluster,
+            "with_cache_sweep": with_cache_sweep,
         },
         "environment": {
             "python": platform.python_version(),
@@ -240,6 +303,7 @@ def run_bench(
         },
         "runs": runs,
         "speedups": speedups,
+        "cache": cache_block,
         "regression": regression,
     }
 
@@ -304,6 +368,20 @@ def bench_manifest(results: dict[str, Any]):
     metrics["regression_passed"] = float(bool(reg["passed"]))
     if reg["observed_speedup"] is not None:
         metrics["observed_speedup"] = float(reg["observed_speedup"])
+    cache_block = results.get("cache")
+    cache_section: dict[str, Any] = {"enabled": cache_block is not None}
+    if cache_block is not None:
+        cache_section.update(
+            hits=int(cache_block["hits"]),
+            misses=int(cache_block["misses"]),
+        )
+        timings["cache_sweep_cold_seconds"] = float(
+            cache_block["cold_seconds"]
+        )
+        timings["cache_sweep_warm_seconds"] = float(
+            cache_block["warm_seconds"]
+        )
+        metrics["cache_sweep_speedup"] = float(cache_block["speedup"])
     return RunManifest(
         kind="bench",
         name="bench-allpairs",
@@ -315,6 +393,7 @@ def bench_manifest(results: dict[str, Any]):
         environment=collect_environment(),
         seed=results["config"].get("seed"),
         metrics=metrics,
+        cache=cache_section,
         timings=timings,
     )
 
@@ -342,6 +421,17 @@ def format_summary(results: dict[str, Any]) -> str:
         lines.append("")
         for key, value in results["speedups"].items():
             lines.append(f"speedup[{key}] = {value:.2f}x (python/vectorized)")
+    cache = results.get("cache")
+    if cache is not None:
+        lines.append("")
+        lines.append(
+            f"cache sweep @{cache['n_nodes']} nodes: "
+            f"cold {cache['cold_seconds']:.3f}s -> "
+            f"warm {cache['warm_seconds']:.3f}s "
+            f"({cache['speedup']:.2f}x, hits={cache['hits']}, "
+            f"misses={cache['misses']}, "
+            f"identical={'yes' if cache['identical'] else 'NO'})"
+        )
     reg = results["regression"]
     verdict = "PASS" if reg["passed"] else "FAIL"
     floor = reg["thresholds"]["min_speedup_vectorized"]

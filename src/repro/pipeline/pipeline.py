@@ -7,6 +7,16 @@ stage timings separately, because the paper's speed claims concern the
 Table 3) — degree-discounted graphs cluster 2–5x faster because they
 have no hubs.
 
+Since the stage-graph refactor this class is a thin facade over the
+execution engine (:mod:`repro.engine`): it assembles a
+:class:`~repro.engine.Plan` of validate → symmetrize → cluster →
+evaluate stages and hands it to an :class:`~repro.engine.Executor`,
+which owns per-stage validation strictness, tracing spans, warning
+capture, timing and the content-addressed artifact cache. Results,
+traces, metrics and manifests are unchanged from the monolithic
+implementation; the facade exists so ``pipe.run(...)`` keeps working
+untouched while sweeps and experiment runners share the same engine.
+
 Robustness modes
 ----------------
 Real inputs arrive with dangling nodes, self-loops, duplicate edges
@@ -29,16 +39,28 @@ of two modes (see ``docs/robustness.md``):
 from __future__ import annotations
 
 import contextlib
-import time
-import warnings as _warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any
 
 from repro.cluster.common import Clustering, GraphClusterer, get_clusterer
-from repro.eval.fmeasure import average_f_score
+from repro.engine.cache import ArtifactCache
+from repro.engine.executor import (
+    EXECUTION_MODES,
+    ExecutionResult,
+    Executor,
+    PipelineWarning,
+)
+from repro.engine.plan import Plan
+from repro.engine.stages import (
+    ClusterStage,
+    EvaluateStage,
+    SymmetrizeStage,
+    ValidateInputStage,
+    ValidateSymmetrizedStage,
+)
 from repro.eval.groundtruth import GroundTruth
-from repro.exceptions import ClusteringError, PipelineError, ReproWarning
+from repro.exceptions import ClusteringError, PipelineError
 from repro.graph.digraph import DirectedGraph
 from repro.graph.ugraph import UndirectedGraph
 from repro.obs.manifest import (
@@ -51,23 +73,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     current_metrics,
     metric_inc,
-    metric_set,
     metrics_active,
 )
 from repro.obs.trace import Tracer, current_tracer, span, tracing
 from repro.perf.stopwatch import (
     PerfRecorder,
     current_recorder,
-    record_stage,
     recording,
 )
 from repro.symmetrize.base import Symmetrization, get_symmetrization
-from repro.validate.invariants import (
-    repair_graph,
-    strictness,
-    validate_directed_graph,
-    validate_undirected_graph,
-)
 
 __all__ = [
     "SymmetrizeClusterPipeline",
@@ -77,29 +91,7 @@ __all__ = [
 ]
 
 #: Recognized pipeline robustness modes.
-PIPELINE_MODES = ("strict", "lenient")
-
-
-@dataclass(frozen=True)
-class PipelineWarning:
-    """One structured warning captured during a pipeline run.
-
-    Attributes
-    ----------
-    stage:
-        Which pipeline stage emitted it: ``"validate"``,
-        ``"symmetrize"`` or ``"cluster"``.
-    code:
-        Machine-readable identifier from the originating
-        :class:`~repro.exceptions.ReproWarning` (e.g.
-        ``"all_dangling"``, ``"repaired_weights"``).
-    message:
-        Human-readable description.
-    """
-
-    stage: str
-    code: str
-    message: str
+PIPELINE_MODES = EXECUTION_MODES
 
 
 @dataclass(frozen=True)
@@ -143,6 +135,10 @@ class PipelineResult:
         The :class:`~repro.obs.RunManifest` provenance record, built
         whenever the run was traced and appended to the run log when
         ``manifest_path`` was given.
+    cache:
+        Artifact-cache provenance of the run: ``{"enabled": bool,
+        "hits": n, "misses": n, "artifact_keys": [...]}``. All-zero
+        with ``enabled=False`` when no cache was installed.
     """
 
     clustering: Clustering
@@ -157,6 +153,7 @@ class PipelineResult:
     trace: dict[str, Any] | None = field(default=None, compare=False)
     metrics: dict[str, Any] | None = field(default=None, compare=False)
     manifest: RunManifest | None = field(default=None, compare=False)
+    cache: dict[str, Any] | None = field(default=None, compare=False)
 
     @property
     def total_seconds(self) -> float:
@@ -170,30 +167,6 @@ class PipelineResult:
             if w.code not in seen:
                 seen.append(w.code)
         return tuple(seen)
-
-
-@contextlib.contextmanager
-def _capture_stage(
-    stage: str, records: list[PipelineWarning]
-) -> Iterator[None]:
-    """Record every ReproWarning raised in the block as a structured
-    :class:`PipelineWarning`; re-emit third-party warnings untouched."""
-    with _warnings.catch_warnings(record=True) as caught:
-        _warnings.simplefilter("always")
-        yield
-    for item in caught:
-        if isinstance(item.message, ReproWarning):
-            records.append(
-                PipelineWarning(
-                    stage=stage,
-                    code=getattr(item.message, "code", "generic"),
-                    message=str(item.message),
-                )
-            )
-        else:
-            _warnings.warn_explicit(
-                item.message, item.category, item.filename, item.lineno
-            )
 
 
 class SymmetrizeClusterPipeline:
@@ -214,6 +187,12 @@ class SymmetrizeClusterPipeline:
         degenerate inputs; ``"lenient"`` repairs what it can, warns
         about the rest, and records everything on
         :attr:`PipelineResult.warnings`.
+    cache:
+        Optional :class:`~repro.engine.ArtifactCache` consulted for
+        the symmetrize stage on every :meth:`run`. When omitted, an
+        ambient :func:`repro.engine.artifact_cache` block (if any)
+        applies; otherwise caching is off and behavior is identical
+        to the pre-engine pipeline.
 
     Examples
     --------
@@ -232,6 +211,7 @@ class SymmetrizeClusterPipeline:
         clusterer: str | GraphClusterer,
         threshold: float = 0.0,
         mode: str = "strict",
+        cache: ArtifactCache | None = None,
     ) -> None:
         if isinstance(symmetrization, str):
             symmetrization = get_symmetrization(symmetrization)
@@ -254,41 +234,43 @@ class SymmetrizeClusterPipeline:
         self.clusterer = clusterer
         self.threshold = float(threshold)
         self.mode = mode
+        self.cache = cache
 
     def symmetrize(self, graph: DirectedGraph) -> UndirectedGraph:
         """Run stage 1 only."""
         return self.symmetrization.apply(graph, threshold=self.threshold)
 
-    def _validated_input(
-        self, graph: DirectedGraph, records: list[PipelineWarning]
-    ) -> DirectedGraph:
-        """Validate (and in lenient mode repair) the directed input."""
-        with _capture_stage("validate", records):
-            report = validate_directed_graph(graph.adjacency, level="full")
-            if not report.ok:
-                if self.mode == "strict":
-                    report.raise_errors()
-                graph, repair_report = repair_graph(graph)
-                repair_report.emit_warnings()
-            report.emit_warnings()
-        return graph
-
-    def _validated_symmetrized(
+    def plan(
         self,
-        symmetrized: UndirectedGraph,
-        records: list[PipelineWarning],
-    ) -> UndirectedGraph:
-        """Validate a caller-supplied stage-1 result before stage 2."""
-        with _capture_stage("validate", records):
-            report = validate_undirected_graph(
-                symmetrized.adjacency, level="basic"
+        n_clusters: int | None = None,
+        with_ground_truth: bool = False,
+        precomputed_symmetrized: bool = False,
+    ) -> Plan:
+        """The :class:`~repro.engine.Plan` a :meth:`run` would execute.
+
+        Exposed for inspection (``plan().describe()``) and for callers
+        that drive the engine directly (sweeps, experiment runners).
+        """
+        stages: list[Any] = [ValidateInputStage()]
+        initial = ["graph"]
+        if precomputed_symmetrized:
+            initial.append("symmetrized")
+            stages.append(ValidateSymmetrizedStage())
+        else:
+            stages.append(
+                SymmetrizeStage(
+                    self.symmetrization, threshold=self.threshold
+                )
             )
-            if not report.ok:
-                if self.mode == "strict":
-                    report.raise_errors()
-                symmetrized, repair_report = repair_graph(symmetrized)
-                repair_report.emit_warnings()
-        return symmetrized
+        stages.append(ClusterStage(self.clusterer, n_clusters))
+        if with_ground_truth:
+            initial.append("ground_truth")
+            stages.append(EvaluateStage())
+        return Plan(
+            stages,
+            initial=tuple(initial),
+            name=f"{self.symmetrization.name}.{self.clusterer.name}",
+        )
 
     def run(
         self,
@@ -298,6 +280,7 @@ class SymmetrizeClusterPipeline:
         symmetrized: UndirectedGraph | None = None,
         trace: bool = False,
         manifest_path: str | Path | None = None,
+        cache: ArtifactCache | None = None,
     ) -> PipelineResult:
         """Run the full pipeline.
 
@@ -311,8 +294,10 @@ class SymmetrizeClusterPipeline:
             When given, the result carries the §4.3 Avg-F score.
         symmetrized:
             Pass a pre-computed stage-1 output to amortize
-            symmetrization across many stage-2 runs (the sweeps do
-            this); its symmetrize time is then reported as 0.
+            symmetrization across many stage-2 runs; its symmetrize
+            time is then reported as 0. With an artifact cache
+            installed the engine amortizes stage 1 automatically, so
+            this parameter is mostly legacy.
         trace:
             Record a hierarchical span tree and metrics snapshot for
             this run (see :mod:`repro.obs`) onto the result's
@@ -321,6 +306,9 @@ class SymmetrizeClusterPipeline:
         manifest_path:
             Append the run's :class:`~repro.obs.RunManifest` to this
             JSONL run log (implies ``trace``).
+        cache:
+            Artifact cache for this run, overriding the
+            constructor-level and ambient caches.
         """
         recorder = current_recorder()
         if recorder is None:
@@ -333,13 +321,25 @@ class SymmetrizeClusterPipeline:
         own_metrics = None
         if metrics is None and tracer is not None:
             own_metrics = metrics = MetricsRegistry()
-        records: list[PipelineWarning] = []
+        plan = self.plan(
+            n_clusters=n_clusters,
+            with_ground_truth=ground_truth is not None,
+            precomputed_symmetrized=symmetrized is not None,
+        )
+        values: dict[str, Any] = {"graph": graph}
+        if symmetrized is not None:
+            values["symmetrized"] = symmetrized
+        if ground_truth is not None:
+            values["ground_truth"] = ground_truth
+        executor = Executor(
+            mode=self.mode,
+            cache=cache if cache is not None else self.cache,
+        )
         with contextlib.ExitStack() as stack:
             if own_tracer is not None:
                 stack.enter_context(tracing(own_tracer))
             if own_metrics is not None:
                 stack.enter_context(metrics_active(own_metrics))
-            stack.enter_context(strictness(self.mode == "strict"))
             stack.enter_context(recording(recorder))
             root = stack.enter_context(span("pipeline"))
             root.set(
@@ -351,45 +351,14 @@ class SymmetrizeClusterPipeline:
                 n_edges=graph.n_edges,
             )
             metric_inc("pipeline_runs_total")
-            with span("validate"):
-                graph = self._validated_input(graph, records)
-            if symmetrized is None:
-                t0 = time.perf_counter()
-                with span("symmetrize"), _capture_stage(
-                    "symmetrize", records
-                ):
-                    symmetrized = self.symmetrize(graph)
-                t_sym = time.perf_counter() - t0
-                record_stage(
-                    "pipeline:symmetrize",
-                    t_sym,
-                    nnz_in=graph.adjacency.nnz,
-                    nnz_out=symmetrized.adjacency.nnz,
-                )
-            else:
-                with span("validate"):
-                    symmetrized = self._validated_symmetrized(
-                        symmetrized, records
-                    )
-                t_sym = 0.0
-            t0 = time.perf_counter()
-            with span("cluster"), _capture_stage("cluster", records):
-                clustering = self.clusterer.cluster(
-                    symmetrized, n_clusters
-                )
-            t_cluster = time.perf_counter() - t0
-            record_stage(
-                "pipeline:cluster",
-                t_cluster,
-                nnz_in=symmetrized.adjacency.nnz,
-                n_clusters=clustering.n_clusters,
-            )
-            if ground_truth is not None:
-                with span("evaluate"):
-                    avg_f = average_f_score(clustering, ground_truth)
-                metric_set("average_f", avg_f)
-            else:
-                avg_f = None
+            cache_enabled = executor.cache is not None
+            execution = executor.execute(plan, values)
+        t_sym = execution.seconds("symmetrize")
+        t_cluster = execution.seconds("cluster")
+        cache_section = {
+            "enabled": cache_enabled,
+            **execution.cache_summary(),
+        }
         trace_snapshot = (
             tracer.as_dict() if tracer is not None else None
         )
@@ -399,38 +368,46 @@ class SymmetrizeClusterPipeline:
         manifest = None
         if tracer is not None:
             manifest = self._build_manifest(
-                graph,
+                execution.values["graph"],
                 n_clusters,
-                records,
+                execution,
                 trace_snapshot,
                 metrics_snapshot,
                 t_sym,
                 t_cluster,
+                cache_section,
             )
             if manifest_path is not None:
                 append_manifest(manifest, manifest_path)
+        avg_f = (
+            execution.values.get("average_f")
+            if ground_truth is not None
+            else None
+        )
         return PipelineResult(
-            clustering=clustering,
-            symmetrized=symmetrized,
+            clustering=execution.values["clustering"],
+            symmetrized=execution.values["symmetrized"],
             symmetrize_seconds=t_sym,
             cluster_seconds=t_cluster,
             average_f=avg_f,
             stages=recorder.as_dict(),
-            warnings=tuple(records),
+            warnings=execution.warnings,
             trace=trace_snapshot,
             metrics=metrics_snapshot,
             manifest=manifest,
+            cache=cache_section,
         )
 
     def _build_manifest(
         self,
         graph: DirectedGraph,
         n_clusters: int | None,
-        records: list[PipelineWarning],
+        execution: ExecutionResult,
         trace_snapshot: dict[str, Any] | None,
         metrics_snapshot: dict[str, Any] | None,
         t_sym: float,
         t_cluster: float,
+        cache_section: dict[str, Any],
     ) -> RunManifest:
         """Assemble the provenance record for one traced run."""
         # average_f is already in the metrics snapshot (set as a
@@ -454,11 +431,12 @@ class SymmetrizeClusterPipeline:
             environment=collect_environment(),
             warnings=[
                 {"stage": w.stage, "code": w.code, "message": w.message}
-                for w in records
+                for w in execution.warnings
             ],
             trace=(trace_snapshot or {}).get("spans", []),
             metrics=metrics_snapshot or {},
             timings=timings,
+            cache=cache_section,
         )
 
     def __repr__(self) -> str:

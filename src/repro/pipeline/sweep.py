@@ -5,21 +5,42 @@
 - :func:`sweep_threshold` — the Table-3 prune-threshold study.
 - :func:`sweep_alpha_beta` — the Table-4 (α, β) grid.
 
-Each sweep symmetrizes once and reuses the undirected graph across
-cluster counts (matching the paper's methodology, which times the
-clustering stage).
+Every sweep builds one :class:`~repro.engine.Plan` per grid point and
+runs it through the :class:`~repro.engine.Executor` with an artifact
+cache: the first point computes and stores the stage-1 symmetrization
+artifact, every later point that shares its lineage is served from the
+cache. This replaces the old hand-rolled symmetrize-once shortcut —
+with no cache installed a sweep still symmetrizes exactly once
+(a fresh in-memory :class:`~repro.engine.ArtifactCache` scopes the
+reuse to the sweep), while an ambient :func:`repro.engine.artifact_cache`
+block (or an explicit ``cache=`` argument, possibly disk-backed)
+extends the reuse across sweeps, grids and processes.
+
+Each :class:`SweepPoint` records its cache provenance: whether any
+stage was served from the cache and the content address of the
+symmetrized artifact the clusterer consumed.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.cluster.common import GraphClusterer, get_clusterer
-from repro.eval.fmeasure import average_f_score
+from repro.engine.cache import ArtifactCache, current_cache
+from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.plan import Plan
+from repro.engine.stage import Stage
+from repro.engine.stages import (
+    ClusterStage,
+    EvaluateStage,
+    PruneStage,
+    PruneToDegreeStage,
+    SymmetrizeStage,
+    ValidateInputStage,
+)
 from repro.eval.groundtruth import GroundTruth
 from repro.graph.digraph import DirectedGraph
-from repro.pipeline.pipeline import SymmetrizeClusterPipeline
+from repro.obs.manifest import fingerprint_graph
 from repro.symmetrize.base import Symmetrization, get_symmetrization
 from repro.symmetrize.degree_discounted import (
     DegreeDiscountedSymmetrization,
@@ -50,6 +71,15 @@ class SweepPoint:
         Stage-2 wall-clock time.
     n_edges:
         Edge count of the (pruned) symmetrized graph used.
+    cache_hit:
+        Whether any stage of this point was served from the artifact
+        cache (``None`` when the point ran without a cache). Within
+        one sweep the first point misses and stores; later points
+        sharing the symmetrization lineage hit.
+    artifact_key:
+        Content address of the symmetrized artifact the clusterer
+        consumed — the key of the last cacheable stage of the point's
+        plan (``None`` without a cache).
     """
 
     parameter: object
@@ -57,6 +87,101 @@ class SweepPoint:
     average_f: float | None
     cluster_seconds: float
     n_edges: int
+    cache_hit: bool | None = None
+    artifact_key: str | None = None
+
+
+def _sweep_cache(cache: ArtifactCache | None) -> ArtifactCache:
+    """The cache a sweep runs against.
+
+    Explicit argument first, then the ambient cache; with neither, a
+    fresh in-memory cache scoped to this sweep — which is exactly the
+    old symmetrize-once behavior, engine-managed.
+    """
+    if cache is not None:
+        return cache
+    ambient = current_cache()
+    if ambient is not None:
+        return ambient
+    return ArtifactCache()
+
+
+def _run_point(
+    plan: Plan,
+    graph: DirectedGraph,
+    ground_truth: GroundTruth | None,
+    cache: ArtifactCache,
+    dataset_sha: str,
+) -> ExecutionResult:
+    """Execute one grid point's plan against the sweep cache."""
+    values: dict[str, object] = {"graph": graph}
+    if ground_truth is not None:
+        values["ground_truth"] = ground_truth
+    executor = Executor(mode="strict", cache=cache)
+    return executor.execute(plan, values, dataset_sha=dataset_sha)
+
+
+def _point_from_execution(
+    parameter: object,
+    execution: ExecutionResult,
+    ground_truth: GroundTruth | None,
+) -> SweepPoint:
+    """Fold one execution into a :class:`SweepPoint`."""
+    consulted = [
+        e for e in execution.executions if e.cached is not None
+    ]
+    artifact_key = None
+    for e in execution.executions:
+        if e.artifact_key is not None:
+            artifact_key = e.artifact_key
+    clustering = execution.values["clustering"]
+    return SweepPoint(
+        parameter=parameter,
+        n_clusters=clustering.n_clusters,
+        average_f=(
+            execution.values.get("average_f")
+            if ground_truth is not None
+            else None
+        ),
+        cluster_seconds=execution.seconds("cluster"),
+        n_edges=execution.values["symmetrized"].n_edges,
+        cache_hit=(
+            any(e.cached for e in consulted) if consulted else None
+        ),
+        artifact_key=artifact_key,
+    )
+
+
+def _sweep(
+    graph: DirectedGraph,
+    parameters: list[object],
+    make_stages,
+    ground_truth: GroundTruth | None,
+    cache: ArtifactCache | None,
+    name: str,
+) -> list[SweepPoint]:
+    """Shared sweep driver: one engine plan per grid point."""
+    active = _sweep_cache(cache)
+    dataset_sha = fingerprint_graph(graph)["sha256"]
+    points = []
+    for parameter in parameters:
+        stages: list[Stage] = make_stages(parameter)
+        initial = ["graph"]
+        if ground_truth is not None:
+            stages.append(EvaluateStage())
+            initial.append("ground_truth")
+        plan = Plan(
+            stages,
+            initial=tuple(initial),
+            name=f"{name}[{parameter!r}]",
+        )
+        execution = _run_point(
+            plan, graph, ground_truth, active, dataset_sha
+        )
+        points.append(
+            _point_from_execution(parameter, execution, ground_truth)
+        )
+    return points
 
 
 def sweep_n_clusters(
@@ -66,30 +191,33 @@ def sweep_n_clusters(
     cluster_counts: list[int],
     ground_truth: GroundTruth | None = None,
     threshold: float = 0.0,
+    cache: ArtifactCache | None = None,
 ) -> list[SweepPoint]:
-    """Avg-F / time vs requested cluster count (Figures 5, 7, 8, 9)."""
-    pipe = SymmetrizeClusterPipeline(
-        symmetrization, clusterer, threshold=threshold
+    """Avg-F / time vs requested cluster count (Figures 5, 7, 8, 9).
+
+    The symmetrization artifact is shared across cluster counts via
+    the artifact cache (first point computes, later points hit).
+    """
+    if isinstance(symmetrization, str):
+        symmetrization = get_symmetrization(symmetrization)
+    if isinstance(clusterer, str):
+        clusterer = get_clusterer(clusterer)
+
+    def make_stages(k: object) -> list[Stage]:
+        return [
+            ValidateInputStage(),
+            SymmetrizeStage(symmetrization, threshold=threshold),
+            ClusterStage(clusterer, int(k)),  # type: ignore[arg-type]
+        ]
+
+    return _sweep(
+        graph,
+        list(cluster_counts),
+        make_stages,
+        ground_truth,
+        cache,
+        "sweep_n_clusters",
     )
-    undirected = pipe.symmetrize(graph)
-    points = []
-    for k in cluster_counts:
-        result = pipe.run(
-            graph,
-            n_clusters=k,
-            ground_truth=ground_truth,
-            symmetrized=undirected,
-        )
-        points.append(
-            SweepPoint(
-                parameter=k,
-                n_clusters=result.clustering.n_clusters,
-                average_f=result.average_f,
-                cluster_seconds=result.cluster_seconds,
-                n_edges=undirected.n_edges,
-            )
-        )
-    return points
 
 
 def sweep_threshold(
@@ -99,41 +227,36 @@ def sweep_threshold(
     n_clusters: int,
     ground_truth: GroundTruth | None = None,
     symmetrization: str | Symmetrization = "degree_discounted",
+    cache: ArtifactCache | None = None,
 ) -> list[SweepPoint]:
     """The Table-3 study: prune threshold vs edges / Avg-F / time.
 
     Symmetrizes once without pruning, then prunes the same similarity
     matrix at every threshold (exactly what varying the threshold means
-    in §5.3.1).
+    in §5.3.1) — the shared unpruned artifact is cache-served after the
+    first point.
     """
     if isinstance(symmetrization, str):
         symmetrization = get_symmetrization(symmetrization)
     if isinstance(clusterer, str):
         clusterer = get_clusterer(clusterer)
-    from repro.symmetrize.pruning import prune_graph
 
-    full = symmetrization.apply(graph, threshold=0.0)
-    points = []
-    for threshold in thresholds:
-        pruned = prune_graph(full, threshold)
-        t0 = time.perf_counter()
-        clustering = clusterer.cluster(pruned, n_clusters)
-        seconds = time.perf_counter() - t0
-        avg_f = (
-            average_f_score(clustering, ground_truth)
-            if ground_truth is not None
-            else None
-        )
-        points.append(
-            SweepPoint(
-                parameter=threshold,
-                n_clusters=clustering.n_clusters,
-                average_f=avg_f,
-                cluster_seconds=seconds,
-                n_edges=pruned.n_edges,
-            )
-        )
-    return points
+    def make_stages(threshold: object) -> list[Stage]:
+        return [
+            ValidateInputStage(),
+            SymmetrizeStage(symmetrization, threshold=0.0),
+            PruneStage(float(threshold)),  # type: ignore[arg-type]
+            ClusterStage(clusterer, n_clusters),
+        ]
+
+    return _sweep(
+        graph,
+        list(thresholds),
+        make_stages,
+        ground_truth,
+        cache,
+        "sweep_threshold",
+    )
 
 
 def sweep_alpha_beta(
@@ -144,6 +267,7 @@ def sweep_alpha_beta(
     ground_truth: GroundTruth | None = None,
     threshold: float = 0.0,
     target_degree: float | None = None,
+    cache: ArtifactCache | None = None,
 ) -> list[SweepPoint]:
     """The Table-4 study: Avg-F per (α, β) configuration.
 
@@ -155,40 +279,32 @@ def sweep_alpha_beta(
     shared absolute ``threshold`` would bias the grid; pass
     ``target_degree`` instead to choose a per-configuration threshold
     with the §5.3.1 sample recipe (density-matched comparisons).
+
+    Each configuration symmetrizes its own artifact (the (α, β) pair
+    is part of the cache lineage), so within one grid nothing is
+    shared — but a disk-backed or ambient cache serves repeated grids
+    (re-runs, figure regeneration) entirely from the cache.
     """
     if isinstance(clusterer, str):
         clusterer = get_clusterer(clusterer)
-    from repro.symmetrize.pruning import (
-        choose_threshold_for_degree,
-        prune_graph,
-    )
 
-    points = []
-    for alpha, beta in configurations:
+    def make_stages(configuration: object) -> list[Stage]:
+        alpha, beta = configuration  # type: ignore[misc]
         sym = DegreeDiscountedSymmetrization(alpha=alpha, beta=beta)
+        stages: list[Stage] = [ValidateInputStage()]
         if target_degree is not None:
-            undirected = sym.apply(graph)
-            per_config = choose_threshold_for_degree(
-                undirected, target_degree
-            )
-            undirected = prune_graph(undirected, per_config)
+            stages.append(SymmetrizeStage(sym, threshold=0.0))
+            stages.append(PruneToDegreeStage(target_degree))
         else:
-            undirected = sym.apply(graph, threshold=threshold)
-        t0 = time.perf_counter()
-        clustering = clusterer.cluster(undirected, n_clusters)
-        seconds = time.perf_counter() - t0
-        avg_f = (
-            average_f_score(clustering, ground_truth)
-            if ground_truth is not None
-            else None
-        )
-        points.append(
-            SweepPoint(
-                parameter=(alpha, beta),
-                n_clusters=clustering.n_clusters,
-                average_f=avg_f,
-                cluster_seconds=seconds,
-                n_edges=undirected.n_edges,
-            )
-        )
-    return points
+            stages.append(SymmetrizeStage(sym, threshold=threshold))
+        stages.append(ClusterStage(clusterer, n_clusters))
+        return stages
+
+    return _sweep(
+        graph,
+        list(configurations),
+        make_stages,
+        ground_truth,
+        cache,
+        "sweep_alpha_beta",
+    )

@@ -103,6 +103,23 @@ class Symmetrization(abc.ABC):
     def compute_matrix(self, graph: DirectedGraph) -> sp.csr_array:
         """The raw symmetric similarity matrix for ``graph``."""
 
+    def config(self) -> dict[str, object]:
+        """Identifying parameters (method name + constructor args).
+
+        Used by the execution engine to fingerprint symmetrize stages
+        for the content-addressed artifact cache, so it must cover
+        every attribute that affects :meth:`compute_matrix`. The
+        default returns all public instance attributes, which holds
+        for every built-in symmetrization; subclasses with
+        non-identifying state should override.
+        """
+        params = {
+            key: value
+            for key, value in sorted(vars(self).items())
+            if not key.startswith("_")
+        }
+        return {"method": self.name, **params}
+
     def apply(
         self,
         graph: DirectedGraph,

@@ -313,6 +313,12 @@ def _synthetic_manifest(**overrides) -> RunManifest:
             "gauges": {"singleton_fraction": 0.1},
             "histograms": {},
         },
+        cache={
+            "enabled": True,
+            "hits": 1,
+            "misses": 1,
+            "artifact_keys": ["cd" * 32],
+        },
         timings={"symmetrize_seconds": 0.5, "cluster_seconds": 1.0},
     )
     base.update(overrides)

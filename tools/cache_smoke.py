@@ -1,0 +1,113 @@
+"""CI smoke check for the content-addressed artifact cache.
+
+Runs a ``sweep_threshold`` grid twice against one disk-backed
+:class:`~repro.engine.ArtifactCache` — a cold pass that computes and
+stores the artifacts, then a warm pass that must be served from the
+cache — and asserts the engine-cache acceptance criteria:
+
+1. the warm pass records at least one cache hit;
+2. every warm point is edge-for-edge identical to its cold twin
+   (edges, cluster count, Avg-F);
+3. the warm pass also hits when served by a *fresh* cache instance
+   over the same directory (the cross-process story CI can't spawn a
+   real second process for cheaply).
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python tools/cache_smoke.py [--nodes N] [--dir D]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=800)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--dir",
+        dest="cache_dir",
+        default=None,
+        help="cache directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.engine.cache import ArtifactCache
+    from repro.graph.generators import power_law_digraph
+    from repro.pipeline.sweep import sweep_threshold
+
+    cache_dir = args.cache_dir or tempfile.mkdtemp(
+        prefix="repro-cache-smoke-"
+    )
+    graph = power_law_digraph(
+        args.nodes, np.random.default_rng(args.seed)
+    )
+    thresholds = [0.1, 0.25, 0.5]
+
+    def run(cache: ArtifactCache):
+        t0 = time.perf_counter()
+        points = sweep_threshold(
+            graph,
+            thresholds=thresholds,
+            clusterer="mlrmcl",
+            n_clusters=12,
+            cache=cache,
+        )
+        return points, time.perf_counter() - t0
+
+    failures: list[str] = []
+
+    cold_cache = ArtifactCache(directory=cache_dir)
+    cold, cold_seconds = run(cold_cache)
+
+    warm_cache = ArtifactCache(directory=cache_dir)  # fresh instance
+    warm, warm_seconds = run(warm_cache)
+
+    if warm_cache.hits < 1:
+        failures.append(
+            f"warm pass recorded {warm_cache.hits} cache hits; "
+            "expected >= 1"
+        )
+    if not all(p.cache_hit for p in warm):
+        misses = [p.parameter for p in warm if not p.cache_hit]
+        failures.append(
+            f"warm points missed the cache at thresholds {misses}"
+        )
+    for a, b in zip(cold, warm):
+        if (a.n_edges, a.n_clusters, a.average_f) != (
+            b.n_edges,
+            b.n_clusters,
+            b.average_f,
+        ):
+            failures.append(
+                f"threshold {a.parameter}: cold "
+                f"({a.n_edges} edges, {a.n_clusters} clusters, "
+                f"F={a.average_f}) != warm ({b.n_edges}, "
+                f"{b.n_clusters}, F={b.average_f})"
+            )
+
+    print(
+        f"cache smoke @{graph.n_nodes} nodes x "
+        f"{len(thresholds)} thresholds: "
+        f"cold {cold_seconds:.3f}s (misses={cold_cache.misses}), "
+        f"warm {warm_seconds:.3f}s (hits={warm_cache.hits}) "
+        f"-> {cache_dir}"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("cache smoke: PASS")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
