@@ -5,8 +5,9 @@
 #   make lint          ruff check (blocking in CI)
 #   make format-check  ruff format --check (advisory in CI)
 #   make fault-smoke   fault-injection marker subset
+#   make chaos-smoke   chaos-harness recovery subset (retries, budgets)
 #   make bench-smoke   repro bench --smoke + benchmark smoke subset
-#   make cache-smoke   cold/warm artifact-cache sweep identity check
+#   make cache-smoke   cache identity + SIGKILL/resume smoke
 #   make coverage      pytest-cov gate (falls back to the stdlib tool)
 #   make ci            everything the PR gate runs
 #
@@ -15,8 +16,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint format-check fault-smoke bench-smoke cache-smoke \
-	coverage ci clean
+.PHONY: test lint format-check fault-smoke chaos-smoke bench-smoke \
+	cache-smoke coverage ci clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,6 +30,9 @@ format-check:
 
 fault-smoke:
 	$(PYTHON) -m pytest -m fault_smoke -q
+
+chaos-smoke:
+	$(PYTHON) -m pytest -m chaos_smoke -q
 
 bench-smoke:
 	$(PYTHON) -m repro bench --smoke \
@@ -48,7 +52,7 @@ coverage:
 		$(PYTHON) tools/measure_coverage.py; \
 	fi
 
-ci: lint test fault-smoke bench-smoke cache-smoke
+ci: lint test fault-smoke chaos-smoke bench-smoke cache-smoke
 
 clean:
 	rm -rf .pytest_cache .ruff_cache coverage.xml .coverage \

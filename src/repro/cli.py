@@ -10,10 +10,19 @@ Subcommands mirror the library's workflow on plain-text edge lists::
     python -m repro evaluate    labels.txt truth.txt
     python -m repro bench       -o BENCH_allpairs.json --smoke
     python -m repro cache       list | stats | clear
+    python -m repro sweep       graph.txt -k 10 20 30 --journal run.jsonl
+    python -m repro resume      run.jsonl
 
 ``pipeline --cache-dir DIR`` reuses symmetrization artifacts through
 the disk-backed content-addressed cache (``docs/architecture.md``);
 ``cache list/stats/clear`` inspects or empties it.
+
+Fault tolerance (see ``docs/robustness.md``): ``sweep --journal``
+writes a crash-safe write-ahead journal of completed grid points;
+``resume <journal>`` replays the recorded work and recomputes only the
+unfinished tail; ``runs show <runlog> --failures`` lists the failed
+and retried stages a journaled run recorded (the argument may also be
+a journal file directly).
 
 Observability (see ``docs/observability.md``): ``pipeline`` and
 ``bench`` append :class:`~repro.obs.manifest.RunManifest` records to a
@@ -184,6 +193,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "sweep",
+        help=(
+            "cluster-count sweep with a crash-safe journal; "
+            "interrupted runs continue via 'repro resume'"
+        ),
+    )
+    p.add_argument("graph", help="directed edge-list file")
+    p.add_argument("-m", "--method", default="degree_discounted")
+    p.add_argument("-c", "--clusterer", default="metis")
+    p.add_argument(
+        "-k",
+        "--counts",
+        type=int,
+        nargs="+",
+        required=True,
+        help="requested cluster counts (one grid point each)",
+    )
+    p.add_argument("-t", "--threshold", type=float, default=0.0)
+    p.add_argument(
+        "--truth", default=None,
+        help="optional ground-truth labels file for Avg-F evaluation",
+    )
+    p.add_argument(
+        "--mode",
+        choices=("strict", "lenient"),
+        default="strict",
+        help=(
+            "lenient records a failed grid point and keeps sweeping; "
+            "strict stops at the first error"
+        ),
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        help=(
+            "write-ahead journal JSONL file; records each completed "
+            "point so 'repro resume' can pick up after a crash"
+        ),
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay points already recorded in --journal instead of "
+            "recomputing them"
+        ),
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="disk-backed artifact cache directory (see 'repro cache')",
+    )
+
+    p = sub.add_parser(
+        "resume",
+        help=(
+            "finish an interrupted 'repro sweep' run from its journal"
+        ),
+    )
+    p.add_argument("journal", help="journal JSONL written by sweep")
+    p.add_argument(
+        "--run-id",
+        default=None,
+        help="select one run when the journal holds several",
+    )
+
+    p = sub.add_parser(
         "generate", help="generate a synthetic benchmark dataset"
     )
     p.add_argument("kind", choices=sorted(_GENERATORS))
@@ -302,6 +378,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-trace",
         action="store_true",
         help="omit the span tree from the dump",
+    )
+    q.add_argument(
+        "--failures",
+        action="store_true",
+        help=(
+            "list the failed/retried stages and skipped sweep points "
+            "the run's journal recorded (runlog may also be a "
+            "journal file)"
+        ),
     )
     q = runs_sub.add_parser(
         "diff", help="compare two recorded runs"
@@ -467,6 +552,144 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _execute_sweep(
+    config: dict,
+    mode: str,
+    journal_path: str | None,
+    resume: bool,
+    run_id: str | None = None,
+) -> int:
+    """Run (or resume) a journaled cluster-count sweep.
+
+    ``config`` is the self-describing run_start payload — everything
+    needed to rebuild the sweep lives in it, which is what lets
+    ``repro resume`` re-run from the journal alone.
+    """
+    from repro.engine.cache import ArtifactCache
+    from repro.engine.journal import JournalReplay, RunJournal
+    from repro.pipeline.sweep import (
+        aggregate_average_f,
+        sweep_n_clusters,
+    )
+
+    graph = read_edge_list(config["graph"], directed=True)
+    truth = None
+    if config.get("truth"):
+        truth = GroundTruth.from_labels(_read_labels(config["truth"]))
+    cache = None
+    if config.get("cache_dir"):
+        cache = ArtifactCache(directory=config["cache_dir"])
+    journal = None
+    replay = None
+    if journal_path is not None:
+        if resume and Path(journal_path).exists():
+            replay = JournalReplay.from_path(
+                journal_path, run_id=run_id
+            )
+        journal = RunJournal(
+            journal_path,
+            run_id=replay.run_id if replay is not None else run_id,
+        )
+        journal.ensure_started(
+            kind="cli_sweep",
+            name="sweep_n_clusters",
+            dataset_sha="",
+            mode=mode,
+            config=config,
+        )
+    points = sweep_n_clusters(
+        graph,
+        config["method"],
+        config["clusterer"],
+        [int(k) for k in config["counts"]],
+        ground_truth=truth,
+        threshold=float(config.get("threshold", 0.0)),
+        cache=cache,
+        mode=mode,
+        journal=journal,
+        resume=replay,
+    )
+    if journal is not None:
+        journal.finish()
+        journal.close()
+    for point in points:
+        if point.failed:
+            status = "failed"
+        elif point.resumed:
+            status = "resumed"
+        else:
+            status = "ok"
+        score = (
+            f"{point.average_f:.2f}"
+            if point.average_f is not None
+            else "-"
+        )
+        print(
+            f"k={point.parameter!s:<6} "
+            f"clusters={point.n_clusters:<6} "
+            f"AvgF={score:<6} edges={point.n_edges:<8} [{status}]"
+        )
+    aggregate = aggregate_average_f(points)
+    if aggregate is not None:
+        print(f"mean Avg-F over successful points: {aggregate:.2f}")
+    failed = sum(1 for point in points if point.failed)
+    if failed:
+        print(f"{failed} point(s) failed and were skipped")
+    if journal_path is not None:
+        print(f"journal -> {journal_path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = {
+        "graph": str(args.graph),
+        "method": args.method,
+        "clusterer": args.clusterer,
+        "counts": [int(k) for k in args.counts],
+        "threshold": float(args.threshold),
+        "truth": args.truth,
+        "cache_dir": args.cache_dir,
+    }
+    if args.resume and args.journal is None:
+        raise ReproError("--resume requires --journal")
+    return _execute_sweep(
+        config, args.mode, args.journal, resume=args.resume
+    )
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.engine.journal import JournalReplay
+
+    replay = JournalReplay.from_path(
+        args.journal, run_id=args.run_id
+    )
+    if replay.run_start is None:
+        raise ReproError(
+            f"{args.journal} has no run_start record; nothing to "
+            "resume"
+        )
+    if replay.run_start.get("kind") != "cli_sweep":
+        raise ReproError(
+            "only journals written by 'repro sweep' can be resumed "
+            f"from the CLI (this one was started by "
+            f"{replay.run_start.get('kind')!r})"
+        )
+    config = dict(replay.run_start.get("config", {}))
+    mode = str(replay.run_start.get("mode", "strict"))
+    total = len(config.get("counts", []))
+    print(
+        f"resuming run {replay.run_id}: "
+        f"{len(replay.completed_points)} of {total} points recorded"
+    )
+    return _execute_sweep(
+        config,
+        mode,
+        args.journal,
+        resume=True,
+        run_id=replay.run_id,
+    )
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     factory = _GENERATORS[args.kind]
     kwargs: dict[str, object] = {"seed": args.seed}
@@ -580,6 +803,43 @@ def _select_manifest(manifests, index: int):
         ) from None
 
 
+def _print_journal_failures(journal_path: str | Path) -> int:
+    """List a journal's failed/retried stages and skipped points."""
+    import json
+
+    from repro.engine.journal import JournalReplay
+
+    replay = JournalReplay.from_path(journal_path)
+    failed_points = [
+        record
+        for record in replay.completed_points.values()
+        if record.get("payload", {}).get("failed")
+    ]
+    if not replay.failures and not failed_points:
+        print(f"no failures recorded in {journal_path}")
+        return 0
+    for record in replay.failures:
+        outcome = "fatal" if record.get("fatal") else "retried"
+        line = (
+            f"stage={record.get('stage')} "
+            f"plan={record.get('plan')} "
+            f"attempt={record.get('attempt')} [{outcome}] "
+            f"{record.get('error')}: {record.get('message')}"
+        )
+        budget = record.get("budget")
+        if budget:
+            line += f" budget={json.dumps(budget, sort_keys=True)}"
+        print(line)
+    for record in failed_points:
+        payload = record.get("payload", {})
+        print(
+            f"point parameter={record.get('parameter')!r} skipped: "
+            f"{payload.get('error')} "
+            f"(code={payload.get('warning_code')})"
+        )
+    return 0
+
+
 def _cmd_runs(args: argparse.Namespace) -> int:
     import json
 
@@ -588,6 +848,23 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         format_diff,
         read_manifests,
     )
+
+    if args.runs_command == "show" and args.failures:
+        # The argument may be a journal file directly ...
+        try:
+            return _print_journal_failures(args.runlog)
+        except ReproError:
+            pass
+        # ... or a manifest log whose run points at its journal.
+        manifests = read_manifests(args.runlog)
+        manifest = _select_manifest(manifests, args.index)
+        journal_path = manifest.fault_tolerance.get("journal")
+        if not journal_path:
+            raise ReproError(
+                f"run {args.index} in {args.runlog} recorded no "
+                "journal; re-run with a journal to track failures"
+            )
+        return _print_journal_failures(journal_path)
 
     manifests = read_manifests(args.runlog)
     if args.runs_command == "list":
@@ -675,6 +952,8 @@ _COMMANDS = {
     "symmetrize": _cmd_symmetrize,
     "cluster": _cmd_cluster,
     "pipeline": _cmd_pipeline,
+    "sweep": _cmd_sweep,
+    "resume": _cmd_resume,
     "generate": _cmd_generate,
     "evaluate": _cmd_evaluate,
     "bench": _cmd_bench,

@@ -22,7 +22,23 @@ into composable parts:
   with an ambient installer (:func:`artifact_cache`) that sweeps and
   experiment runners pick up automatically.
 
-See ``docs/architecture.md`` for the full design and keying scheme.
+The fault-tolerant runtime layers on top:
+
+- :class:`~repro.engine.policy.Budget` /
+  :class:`~repro.engine.policy.RetryPolicy` — per-stage and per-plan
+  resource ceilings and bounded retry of transient failures with
+  deterministic-jitter backoff;
+- :class:`~repro.engine.journal.RunJournal` — a crash-safe
+  write-ahead journal of completed stages and sweep points, with an
+  ambient installer (:func:`run_journal`) mirroring the cache's;
+  :class:`~repro.engine.journal.JournalReplay` feeds
+  ``Executor(resume_from=...)`` and ``sweep_*(..., resume=...)`` so an
+  interrupted run recomputes only its unfinished tail;
+- :mod:`~repro.engine.chaos` — deterministic fault injection
+  (:func:`inject_faults`) for proving the recovery paths work.
+
+See ``docs/architecture.md`` for the full design and keying scheme,
+and ``docs/robustness.md`` for the fault-tolerance contract.
 """
 
 from repro.engine.cache import (
@@ -43,7 +59,24 @@ from repro.engine.executor import (
     StageExecution,
     capture_stage_warnings,
 )
+from repro.engine.chaos import (
+    FAULT_KINDS,
+    Fault,
+    FaultPlan,
+    current_faults,
+    inject_faults,
+)
+from repro.engine.journal import (
+    JOURNAL_SCHEMA,
+    JournalReplay,
+    RunJournal,
+    current_journal,
+    point_key,
+    read_journal,
+    run_journal,
+)
 from repro.engine.plan import Plan
+from repro.engine.policy import Budget, BudgetMeter, RetryPolicy
 from repro.engine.stage import Stage, StageContext
 from repro.engine.stages import (
     ClusterStage,
@@ -84,4 +117,22 @@ __all__ = [
     "PruneToDegreeStage",
     "ClusterStage",
     "EvaluateStage",
+    # policies
+    "Budget",
+    "BudgetMeter",
+    "RetryPolicy",
+    # journal / resume
+    "JOURNAL_SCHEMA",
+    "RunJournal",
+    "JournalReplay",
+    "run_journal",
+    "current_journal",
+    "read_journal",
+    "point_key",
+    # chaos harness
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "inject_faults",
+    "current_faults",
 ]

@@ -47,6 +47,7 @@ import json
 import os
 import shutil
 import time
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Iterator
@@ -54,7 +55,8 @@ from typing import Any, Iterator
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import ReproError
+from repro.engine.chaos import chaos
+from repro.exceptions import ExecutionWarning, ReproError
 from repro.graph.ugraph import UndirectedGraph
 from repro.obs.metrics import metric_inc, metric_set
 
@@ -291,6 +293,7 @@ class ArtifactCache:
     def _disk_put(
         self, key: str, artifact: UndirectedGraph, meta: dict[str, Any]
     ) -> None:
+        flag = chaos("cache.disk_put")
         entry = self._entry_dir(key)
         entry.mkdir(parents=True, exist_ok=True)
         csr = artifact.adjacency.tocsr()
@@ -304,6 +307,8 @@ class ArtifactCache:
         tmp = entry / (_ARTIFACT_FILE + ".tmp")
         with tmp.open("wb") as handle:
             np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
         tmp.replace(entry / _ARTIFACT_FILE)
         record = {
             "key": key,
@@ -314,14 +319,53 @@ class ArtifactCache:
             "node_names": names,
             **meta,
         }
-        (entry / _META_FILE).write_text(
-            json.dumps(record, indent=2, default=_canonical) + "\n"
-        )
+        meta_tmp = entry / (_META_FILE + ".tmp")
+        with meta_tmp.open("w") as handle:
+            handle.write(
+                json.dumps(record, indent=2, default=_canonical)
+                + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        meta_tmp.replace(entry / _META_FILE)
+        self._fsync_dir(entry)
+        if flag is not None and flag.kind == "corrupt":
+            # Chaos: garble the persisted artifact the way a torn
+            # write would, so recovery paths can be exercised.
+            (entry / _ARTIFACT_FILE).write_bytes(b"\x00corrupt")
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-specific
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+        finally:
+            os.close(fd)
 
     def _disk_get(self, key: str) -> UndirectedGraph | None:
         entry = self._entry_dir(key)
         path = entry / _ARTIFACT_FILE
         if not path.exists():
+            if (entry / _META_FILE).exists():
+                # A meta.json without its artifact is the signature
+                # of a crash mid-put (or a torn cleanup): drop the
+                # orphan so it cannot shadow a future write.
+                shutil.rmtree(entry, ignore_errors=True)
+                warnings.warn(
+                    ExecutionWarning(
+                        f"cache entry {key[:16]} had metadata but "
+                        "no artifact (orphan from an interrupted "
+                        "write); dropped",
+                        code="cache_orphan",
+                    ),
+                    stacklevel=3,
+                )
+                metric_inc("cache_orphans_dropped_total")
             return None
         try:
             with np.load(path) as loaded:

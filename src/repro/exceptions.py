@@ -26,11 +26,16 @@ __all__ = [
     "EvaluationError",
     "DatasetError",
     "PipelineError",
+    "TransientError",
+    "WorkerCrashError",
+    "FaultInjected",
+    "BudgetExceeded",
     "ReproWarning",
     "ValidationWarning",
     "DegenerateGraphWarning",
     "RepairWarning",
     "ConvergenceWarning",
+    "ExecutionWarning",
 ]
 
 
@@ -83,6 +88,60 @@ class PipelineError(ReproError):
     recover from a degenerate input, even in lenient mode."""
 
 
+class TransientError(ReproError):
+    """A failure that may succeed on re-execution (a flaky worker, a
+    saturated resource, an injected chaos fault).
+
+    The default :class:`repro.engine.RetryPolicy` retries exactly this
+    class; deterministic failures (bad input, misconfiguration) derive
+    from other :class:`ReproError` branches and are never retried.
+    """
+
+
+class WorkerCrashError(TransientError):
+    """A parallel worker process died (OOM-killed, SIGKILL, segfault)
+    before returning its result.
+
+    Raised by :mod:`repro.linalg.allpairs` when a process-pool worker
+    disappears and in-process re-execution of its blocks also fails.
+    """
+
+
+class FaultInjected(TransientError):
+    """An artificial failure raised by the chaos harness
+    (:mod:`repro.engine.chaos`). Transient by design so retry and
+    recovery paths can be exercised deterministically in tests."""
+
+
+class BudgetExceeded(ReproError):
+    """A stage or plan overran its :class:`repro.engine.Budget`.
+
+    Structured: ``scope`` names what overran (a stage name or
+    ``"plan"``), ``resource`` is ``"wall_s"`` or ``"mem_bytes"``, and
+    ``limit``/``spent`` quantify the overrun. Budget overruns are
+    deterministic with respect to the work attempted, so they are
+    *not* retried; lenient sweep drivers degrade them to a skipped
+    point with a structured warning instead.
+    """
+
+    def __init__(
+        self,
+        scope: str,
+        resource: str,
+        limit: float,
+        spent: float,
+    ) -> None:
+        unit = "s" if resource == "wall_s" else " bytes"
+        super().__init__(
+            f"{scope} exceeded its {resource} budget: spent "
+            f"{spent:.6g}{unit} of {limit:.6g}{unit}"
+        )
+        self.scope = scope
+        self.resource = resource
+        self.limit = limit
+        self.spent = spent
+
+
 # ---------------------------------------------------------------------------
 # Warnings (the lenient channel)
 # ---------------------------------------------------------------------------
@@ -129,3 +188,21 @@ class ConvergenceWarning(ReproWarning):
     its best iterate instead of raising :class:`ConvergenceError`."""
 
     code = "no_convergence"
+
+
+class ExecutionWarning(ReproWarning):
+    """The fault-tolerant execution runtime degraded gracefully.
+
+    Codes in use: ``stage_retried`` (a transient stage failure was
+    retried), ``point_failed`` (a lenient sweep skipped a failed grid
+    point), ``worker_crash`` (a dead process-pool worker's blocks were
+    re-executed in-process), ``journal_write_failed`` (journaling was
+    disabled after an unwritable append, e.g. ENOSPC),
+    ``journal_truncated`` (a partial trailing record from a crash
+    mid-append was skipped on read), ``cache_orphan`` (a
+    meta-without-artifact cache entry from a crash mid-put was
+    dropped), ``resume_mismatch`` (a journal record did not match the
+    plan being resumed and was ignored).
+    """
+
+    code = "execution"

@@ -24,7 +24,9 @@ from repro.directed.objectives import clustering_ncut
 from repro.directed.wcut import best_wcut
 from repro.directed.zhou import ZhouDirectedSpectral
 from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.journal import RunJournal, run_journal
 from repro.engine.plan import Plan
+from repro.engine.policy import RetryPolicy
 from repro.engine.stage import Stage
 from repro.engine.stages import ClusterStage, EvaluateStage
 from repro.eval.fmeasure import (
@@ -284,6 +286,12 @@ def _panel_graphs(
     return graphs
 
 
+#: Transient failures in experiment grids (a flaky worker, an
+#: injected chaos fault) get one bounded re-execution; deterministic
+#: errors still fail fast.
+_EXPERIMENT_RETRY = RetryPolicy(max_attempts=2, backoff_s=0.01)
+
+
 def _cluster_point(
     symmetrized: UndirectedGraph,
     clusterer,
@@ -303,7 +311,8 @@ def _cluster_point(
         initial=tuple(initial),
         name=f"experiments.cluster_point[k={n_clusters}]",
     )
-    return Executor(mode="strict").execute(plan, values)
+    executor = Executor(mode="strict", retry=_EXPERIMENT_RETRY)
+    return executor.execute(plan, values)
 
 
 def _quality_panel(
@@ -891,6 +900,7 @@ def run_experiment(
     bundle: DatasetBundle | None = None,
     scale: float = 1.0,
     seed: int = 0,
+    journal: RunJournal | None = None,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
@@ -904,6 +914,11 @@ def run_experiment(
         process-wide shared bundle at ``scale``/``seed``.
     scale, seed:
         Dataset scale multiplier and seed when no bundle is given.
+    journal:
+        Optional write-ahead :class:`~repro.engine.RunJournal`:
+        installed as the ambient journal for the experiment, so every
+        engine execution inside it (sweeps, cluster points) records
+        its progress for crash recovery.
     """
     try:
         runner = _RUNNERS[name.lower()]
@@ -914,4 +929,16 @@ def run_experiment(
         ) from None
     if bundle is None:
         bundle = shared_bundle(scale=scale, seed=seed)
-    return runner(bundle)
+    if journal is None:
+        return runner(bundle)
+    journal.ensure_started(
+        kind="experiment",
+        name=name.lower(),
+        dataset_sha="",
+        mode="strict",
+        config={"scale": scale, "seed": seed},
+    )
+    with run_journal(journal):
+        result = runner(bundle)
+    journal.finish()
+    return result

@@ -51,12 +51,16 @@ through ``apply_pruned`` using the factorizations
 
 from __future__ import annotations
 
+import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import SymmetrizationError
+from repro.engine.chaos import chaos
+from repro.exceptions import ExecutionWarning, SymmetrizationError
 from repro.obs.metrics import metric_inc, metric_observe
 from repro.obs.trace import span
 from repro.perf.stopwatch import add_counters
@@ -379,8 +383,18 @@ def _block_worker(
     threshold: float,
     block_starts: list[int],
     block_size: int,
+    chaos_exit: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-    """Process-pool task: plain arrays keep the return payload small."""
+    """Process-pool task: plain arrays keep the return payload small.
+
+    ``chaos_exit`` is the chaos harness's kill-worker lever: the flag
+    is decided in the parent (fault plans do not cross process
+    boundaries) and makes the worker die the way an OOM kill or
+    segfault would — no exception, no return value, just a dead
+    process the pool reports as broken.
+    """
+    if chaos_exit:
+        os._exit(1)
     out, n_candidates = _process_blocks(
         csr, suffix, threshold, block_starts, block_size
     )
@@ -403,26 +417,72 @@ def _fan_out_blocks(
     blocks (which face fewer earlier partners) across workers. The
     merge is deterministic — each row lands in exactly one chunk, so
     triplet sets are disjoint and COO assembly canonicalizes order.
+
+    Crash isolation: chunks are submitted as individual futures, so a
+    worker that dies mid-chunk (OOM killer, segfault, injected
+    ``kill_worker`` fault) breaks the pool but loses only its own
+    chunks — those are re-executed *in-process* (blocks are pure
+    functions of shared read-only inputs, so re-execution is exact)
+    and the merge proceeds as if nothing happened, counted in
+    ``worker_crashes_total``.
     """
     workers = min(n_jobs, len(block_starts))
     chunks = [block_starts[w::workers] for w in range(workers)]
+    kill_flags = []
+    for _ in chunks:
+        flag = chaos("allpairs.worker")
+        kill_flags.append(
+            flag is not None and flag.kind == "kill_worker"
+        )
+    results: list[
+        tuple[np.ndarray, np.ndarray, np.ndarray, int] | None
+    ] = [None] * len(chunks)
+    lost: list[int] = []
     try:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            parts = list(
-                pool.map(
+            futures = {
+                index: pool.submit(
                     _block_worker,
-                    [csr] * workers,
-                    [suffix] * workers,
-                    [threshold] * workers,
-                    chunks,
-                    [block_size] * workers,
+                    csr,
+                    suffix,
+                    threshold,
+                    chunk,
+                    block_size,
+                    kill_flags[index],
                 )
-            )
+                for index, chunk in enumerate(chunks)
+            }
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    # A dead worker breaks the whole pool: every
+                    # unfinished chunk surfaces here and is retried
+                    # in-process below.
+                    lost.append(index)
     except (OSError, PermissionError):  # sandboxed: cannot fork/spawn
         return None
+    if lost:
+        metric_inc("worker_crashes_total")
+        warnings.warn(
+            ExecutionWarning(
+                f"a pool worker died; re-executing {len(lost)} "
+                "lost chunk(s) in-process",
+                code="worker_crash",
+            ),
+            stacklevel=2,
+        )
+        for index in lost:
+            out, candidates = _process_blocks(
+                csr, suffix, threshold, chunks[index], block_size
+            )
+            rows, cols, vals = out.arrays()
+            results[index] = (rows, cols, vals, candidates)
     merged = _TripletBuffer()
     n_candidates = 0
-    for rows, cols, vals, candidates in parts:
+    for part in results:
+        assert part is not None  # every chunk resolved or re-ran
+        rows, cols, vals, candidates = part
         merged.extend(rows, cols, vals)
         n_candidates += candidates
     return merged, n_candidates

@@ -46,12 +46,18 @@ __all__ = [
 
 #: Schema identifier embedded in every manifest; bump on breaking
 #: changes to the JSON shape (tests/data/manifest_golden.json pins it).
-#: v2 added the ``cache`` section (artifact-cache provenance).
-MANIFEST_SCHEMA = "repro-run-manifest/v2"
+#: v2 added the ``cache`` section (artifact-cache provenance); v3 the
+#: ``fault_tolerance`` section (journal / retry / resume provenance).
+MANIFEST_SCHEMA = "repro-run-manifest/v3"
 
 #: Schemas :meth:`RunManifest.from_dict` can still read. v1 manifests
-#: (pre-artifact-cache) load with an empty ``cache`` section.
-SUPPORTED_SCHEMAS = ("repro-run-manifest/v1", "repro-run-manifest/v2")
+#: (pre-artifact-cache) load with an empty ``cache`` section; v1/v2
+#: (pre-fault-tolerance) with an empty ``fault_tolerance`` section.
+SUPPORTED_SCHEMAS = (
+    "repro-run-manifest/v1",
+    "repro-run-manifest/v2",
+    "repro-run-manifest/v3",
+)
 
 
 def fingerprint_graph(graph: Any) -> dict[str, Any]:
@@ -142,6 +148,12 @@ class RunManifest:
         ``artifact_keys``) when the run consulted the
         content-addressed cache; empty otherwise (and for v1
         manifests, which predate the cache).
+    fault_tolerance:
+        Fault-tolerance provenance (``journal`` path and ``run_id``
+        when the run was journaled, ``stage_retries``,
+        ``stages_resumed``, ``resumed`` — whether the run replayed a
+        prior journal); empty for unjournaled runs and for v1/v2
+        manifests, which predate the runtime.
     timings:
         Headline stage durations in seconds.
     """
@@ -157,6 +169,7 @@ class RunManifest:
     trace: list[dict[str, Any]] = field(default_factory=list)
     metrics: dict[str, Any] = field(default_factory=dict)
     cache: dict[str, Any] = field(default_factory=dict)
+    fault_tolerance: dict[str, Any] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
@@ -174,6 +187,7 @@ class RunManifest:
             "trace": self.trace,
             "metrics": self.metrics,
             "cache": self.cache,
+            "fault_tolerance": self.fault_tolerance,
             "timings": self.timings,
         }
 
@@ -203,6 +217,9 @@ class RunManifest:
             trace=list(payload.get("trace", [])),
             metrics=dict(payload.get("metrics", {})),
             cache=dict(payload.get("cache", {})),
+            fault_tolerance=dict(
+                payload.get("fault_tolerance", {})
+            ),
             timings=dict(payload.get("timings", {})),
         )
 
@@ -320,6 +337,9 @@ def diff_manifests(
         "dataset": _dict_changes(a.dataset, b.dataset),
         "environment": _dict_changes(a.environment, b.environment),
         "cache": _dict_changes(a.cache, b.cache),
+        "fault_tolerance": _dict_changes(
+            a.fault_tolerance, b.fault_tolerance
+        ),
         "metrics": metric_deltas,
         "timings": timing_deltas,
         "warnings": {
@@ -332,7 +352,13 @@ def diff_manifests(
 def format_diff(diff: dict[str, Any]) -> str:
     """Human-readable rendering of :func:`diff_manifests` output."""
     lines = [f"diff: {diff['runs'][0]}  vs  {diff['runs'][1]}"]
-    for section in ("config", "dataset", "environment", "cache"):
+    for section in (
+        "config",
+        "dataset",
+        "environment",
+        "cache",
+        "fault_tolerance",
+    ):
         changes = diff.get(section)
         if not changes:
             continue

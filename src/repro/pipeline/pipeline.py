@@ -51,7 +51,9 @@ from repro.engine.executor import (
     Executor,
     PipelineWarning,
 )
+from repro.engine.journal import JournalReplay, RunJournal
 from repro.engine.plan import Plan
+from repro.engine.policy import Budget, RetryPolicy
 from repro.engine.stages import (
     ClusterStage,
     EvaluateStage,
@@ -139,6 +141,11 @@ class PipelineResult:
         Artifact-cache provenance of the run: ``{"enabled": bool,
         "hits": n, "misses": n, "artifact_keys": [...]}``. All-zero
         with ``enabled=False`` when no cache was installed.
+    fault_tolerance:
+        Fault-tolerance provenance: the journal path and run id when
+        the run was journaled, whether it resumed a prior journal,
+        and the ``stage_retries`` / ``stages_resumed`` totals from
+        :meth:`~repro.engine.ExecutionResult.fault_summary`.
     """
 
     clustering: Clustering
@@ -154,6 +161,9 @@ class PipelineResult:
     metrics: dict[str, Any] | None = field(default=None, compare=False)
     manifest: RunManifest | None = field(default=None, compare=False)
     cache: dict[str, Any] | None = field(default=None, compare=False)
+    fault_tolerance: dict[str, Any] | None = field(
+        default=None, compare=False
+    )
 
     @property
     def total_seconds(self) -> float:
@@ -281,6 +291,11 @@ class SymmetrizeClusterPipeline:
         trace: bool = False,
         manifest_path: str | Path | None = None,
         cache: ArtifactCache | None = None,
+        journal: RunJournal | None = None,
+        resume: JournalReplay | None = None,
+        retry: RetryPolicy | None = None,
+        budgets: dict[str, Budget] | None = None,
+        plan_budget: Budget | None = None,
     ) -> PipelineResult:
         """Run the full pipeline.
 
@@ -309,6 +324,23 @@ class SymmetrizeClusterPipeline:
         cache:
             Artifact cache for this run, overriding the
             constructor-level and ambient caches.
+        journal:
+            Write-ahead :class:`~repro.engine.RunJournal` recording
+            per-stage progress for crash recovery; ``None`` falls
+            back to the ambient :func:`repro.engine.run_journal`
+            block, if any.
+        resume:
+            :class:`~repro.engine.JournalReplay` of an interrupted
+            run: recorded stages are served from the artifact cache
+            instead of recomputed.
+        retry:
+            :class:`~repro.engine.RetryPolicy` for transient stage
+            failures (``None`` disables retries).
+        budgets:
+            Per-stage :class:`~repro.engine.Budget` ceilings, keyed
+            by stage name.
+        plan_budget:
+            Whole-run :class:`~repro.engine.Budget` ceiling.
         """
         recorder = current_recorder()
         if recorder is None:
@@ -334,6 +366,11 @@ class SymmetrizeClusterPipeline:
         executor = Executor(
             mode=self.mode,
             cache=cache if cache is not None else self.cache,
+            budgets=budgets,
+            plan_budget=plan_budget,
+            retry=retry,
+            journal=journal,
+            resume_from=resume,
         )
         with contextlib.ExitStack() as stack:
             if own_tracer is not None:
@@ -359,6 +396,21 @@ class SymmetrizeClusterPipeline:
             "enabled": cache_enabled,
             **execution.cache_summary(),
         }
+        active_journal = executor.journal
+        fault_section = {
+            "journal": (
+                str(active_journal.path)
+                if active_journal is not None
+                else None
+            ),
+            "run_id": (
+                active_journal.run_id
+                if active_journal is not None
+                else None
+            ),
+            "resumed": resume is not None,
+            **execution.fault_summary(),
+        }
         trace_snapshot = (
             tracer.as_dict() if tracer is not None else None
         )
@@ -376,6 +428,7 @@ class SymmetrizeClusterPipeline:
                 t_sym,
                 t_cluster,
                 cache_section,
+                fault_section,
             )
             if manifest_path is not None:
                 append_manifest(manifest, manifest_path)
@@ -396,6 +449,7 @@ class SymmetrizeClusterPipeline:
             metrics=metrics_snapshot,
             manifest=manifest,
             cache=cache_section,
+            fault_tolerance=fault_section,
         )
 
     def _build_manifest(
@@ -408,6 +462,7 @@ class SymmetrizeClusterPipeline:
         t_sym: float,
         t_cluster: float,
         cache_section: dict[str, Any],
+        fault_section: dict[str, Any],
     ) -> RunManifest:
         """Assemble the provenance record for one traced run."""
         # average_f is already in the metrics snapshot (set as a
@@ -437,6 +492,7 @@ class SymmetrizeClusterPipeline:
             metrics=metrics_snapshot or {},
             timings=timings,
             cache=cache_section,
+            fault_tolerance=fault_section,
         )
 
     def __repr__(self) -> str:

@@ -19,16 +19,47 @@ extends the reuse across sweeps, grids and processes.
 Each :class:`SweepPoint` records its cache provenance: whether any
 stage was served from the cache and the content address of the
 symmetrized artifact the clusterer consumed.
+
+Fault tolerance
+---------------
+Sweeps are the long-running surface of this codebase, so they carry
+the full runtime:
+
+- ``mode="lenient"`` degrades per-point failures instead of aborting
+  the grid: the failed point is recorded with ``failed=True``, the
+  exception summary, and the machine-readable warning code
+  ``point_failed``; :func:`aggregate_average_f` excludes such points.
+  In strict mode (default) the first failure propagates.
+- ``retry=``/``budgets=``/``plan_budget=`` forward the corresponding
+  :class:`~repro.engine.RetryPolicy` / :class:`~repro.engine.Budget`
+  policies to each point's executor.
+- An ambient or explicit write-ahead journal
+  (:class:`~repro.engine.RunJournal`) records one ``point_done``
+  record per completed grid point; ``resume=`` replays those records
+  (a :class:`~repro.engine.JournalReplay`) so an interrupted sweep
+  recomputes only its unfinished tail — replayed points are marked
+  ``resumed=True`` and are byte-identical to what the first run
+  measured, including recorded failures.
 """
 
 from __future__ import annotations
 
+import warnings as _warnings
 from dataclasses import dataclass
+from typing import Any
 
 from repro.cluster.common import GraphClusterer, get_clusterer
 from repro.engine.cache import ArtifactCache, current_cache
+from repro.engine.chaos import chaos
 from repro.engine.executor import ExecutionResult, Executor
+from repro.engine.journal import (
+    JournalReplay,
+    RunJournal,
+    current_journal,
+    point_key,
+)
 from repro.engine.plan import Plan
+from repro.engine.policy import Budget, RetryPolicy
 from repro.engine.stage import Stage
 from repro.engine.stages import (
     ClusterStage,
@@ -39,8 +70,10 @@ from repro.engine.stages import (
     ValidateInputStage,
 )
 from repro.eval.groundtruth import GroundTruth
+from repro.exceptions import ExecutionWarning, ReproError
 from repro.graph.digraph import DirectedGraph
 from repro.obs.manifest import fingerprint_graph
+from repro.obs.metrics import metric_inc
 from repro.symmetrize.base import Symmetrization, get_symmetrization
 from repro.symmetrize.degree_discounted import (
     DegreeDiscountedSymmetrization,
@@ -51,6 +84,7 @@ __all__ = [
     "sweep_n_clusters",
     "sweep_threshold",
     "sweep_alpha_beta",
+    "aggregate_average_f",
 ]
 
 
@@ -80,6 +114,18 @@ class SweepPoint:
         Content address of the symmetrized artifact the clusterer
         consumed — the key of the last cacheable stage of the point's
         plan (``None`` without a cache).
+    failed:
+        ``True`` when a lenient-mode sweep skipped this point after an
+        unrecoverable failure; the measurement fields are zeroed and
+        ``average_f`` is ``None``, so aggregation must exclude it
+        (:func:`aggregate_average_f` does).
+    error:
+        ``"ExceptionType: message"`` summary of the failure.
+    warning_code:
+        Machine-readable code of the degradation (``point_failed``).
+    resumed:
+        ``True`` when the point was replayed from a run journal
+        instead of being recomputed.
     """
 
     parameter: object
@@ -89,6 +135,26 @@ class SweepPoint:
     n_edges: int
     cache_hit: bool | None = None
     artifact_key: str | None = None
+    failed: bool = False
+    error: str | None = None
+    warning_code: str | None = None
+    resumed: bool = False
+
+
+def aggregate_average_f(points: list[SweepPoint]) -> float | None:
+    """Mean Avg-F over the *successful* points of a sweep.
+
+    Failed (skipped) points and points without ground truth carry no
+    Avg-F and are excluded; returns ``None`` when nothing remains.
+    """
+    scores = [
+        p.average_f
+        for p in points
+        if not p.failed and p.average_f is not None
+    ]
+    if not scores:
+        return None
+    return float(sum(scores) / len(scores))
 
 
 def _sweep_cache(cache: ArtifactCache | None) -> ArtifactCache:
@@ -112,12 +178,26 @@ def _run_point(
     ground_truth: GroundTruth | None,
     cache: ArtifactCache,
     dataset_sha: str,
+    mode: str,
+    retry: RetryPolicy | None,
+    budgets: dict[str, Budget] | None,
+    plan_budget: Budget | None,
+    journal: RunJournal | None,
+    resume: JournalReplay | None,
 ) -> ExecutionResult:
     """Execute one grid point's plan against the sweep cache."""
     values: dict[str, object] = {"graph": graph}
     if ground_truth is not None:
         values["ground_truth"] = ground_truth
-    executor = Executor(mode="strict", cache=cache)
+    executor = Executor(
+        mode=mode,
+        cache=cache,
+        budgets=budgets,
+        plan_budget=plan_budget,
+        retry=retry,
+        journal=journal,
+        resume_from=resume,
+    )
     return executor.execute(plan, values, dataset_sha=dataset_sha)
 
 
@@ -152,6 +232,55 @@ def _point_from_execution(
     )
 
 
+def _point_payload(point: SweepPoint) -> dict[str, Any]:
+    """The journal-ready scalar record of one sweep point."""
+    return {
+        "n_clusters": point.n_clusters,
+        "average_f": point.average_f,
+        "cluster_seconds": point.cluster_seconds,
+        "n_edges": point.n_edges,
+        "cache_hit": point.cache_hit,
+        "artifact_key": point.artifact_key,
+        "failed": point.failed,
+        "error": point.error,
+        "warning_code": point.warning_code,
+    }
+
+
+def _point_from_payload(
+    parameter: object, payload: dict[str, Any]
+) -> SweepPoint:
+    """Rebuild a recorded point during resume (marked ``resumed``)."""
+    return SweepPoint(
+        parameter=parameter,
+        n_clusters=int(payload.get("n_clusters", 0)),
+        average_f=payload.get("average_f"),
+        cluster_seconds=float(payload.get("cluster_seconds", 0.0)),
+        n_edges=int(payload.get("n_edges", 0)),
+        cache_hit=payload.get("cache_hit"),
+        artifact_key=payload.get("artifact_key"),
+        failed=bool(payload.get("failed", False)),
+        error=payload.get("error"),
+        warning_code=payload.get("warning_code"),
+        resumed=True,
+    )
+
+
+def _failed_point(
+    parameter: object, exc: BaseException
+) -> SweepPoint:
+    return SweepPoint(
+        parameter=parameter,
+        n_clusters=0,
+        average_f=None,
+        cluster_seconds=0.0,
+        n_edges=0,
+        failed=True,
+        error=f"{type(exc).__name__}: {exc}",
+        warning_code="point_failed",
+    )
+
+
 def _sweep(
     graph: DirectedGraph,
     parameters: list[object],
@@ -159,10 +288,26 @@ def _sweep(
     ground_truth: GroundTruth | None,
     cache: ArtifactCache | None,
     name: str,
+    mode: str = "strict",
+    retry: RetryPolicy | None = None,
+    budgets: dict[str, Budget] | None = None,
+    plan_budget: Budget | None = None,
+    journal: RunJournal | None = None,
+    resume: JournalReplay | None = None,
 ) -> list[SweepPoint]:
     """Shared sweep driver: one engine plan per grid point."""
     active = _sweep_cache(cache)
     dataset_sha = fingerprint_graph(graph)["sha256"]
+    if journal is None:
+        journal = current_journal()
+    if journal is not None:
+        journal.ensure_started(
+            kind="sweep",
+            name=name,
+            dataset_sha=dataset_sha,
+            mode=mode,
+            config={"parameters": [repr(p) for p in parameters]},
+        )
     points = []
     for parameter in parameters:
         stages: list[Stage] = make_stages(parameter)
@@ -175,12 +320,50 @@ def _sweep(
             initial=tuple(initial),
             name=f"{name}[{parameter!r}]",
         )
-        execution = _run_point(
-            plan, graph, ground_truth, active, dataset_sha
+        key = point_key(
+            dataset_sha,
+            [stage.fingerprint() for stage in plan.stages],
+            parameter,
+            mode,
         )
-        points.append(
-            _point_from_execution(parameter, execution, ground_truth)
-        )
+        if resume is not None:
+            payload = resume.point(key)
+            if payload is not None:
+                points.append(
+                    _point_from_payload(parameter, payload)
+                )
+                metric_inc("resume_points_skipped")
+                continue
+        try:
+            execution = _run_point(
+                plan, graph, ground_truth, active, dataset_sha,
+                mode, retry, budgets, plan_budget, journal, resume,
+            )
+        except ReproError as exc:
+            if mode != "lenient":
+                raise
+            # Lenient: one poisoned grid point must not cost the
+            # sweep. Record the skip, structured, and move on.
+            point = _failed_point(parameter, exc)
+            _warnings.warn(
+                ExecutionWarning(
+                    f"{name}: point {parameter!r} failed "
+                    f"({point.error}); skipped in lenient mode",
+                    code="point_failed",
+                ),
+                stacklevel=3,
+            )
+            metric_inc("sweep_points_failed_total")
+        else:
+            point = _point_from_execution(
+                parameter, execution, ground_truth
+            )
+        if journal is not None:
+            journal.record_point(
+                key, parameter, _point_payload(point)
+            )
+        points.append(point)
+        chaos("sweep.point")
     return points
 
 
@@ -192,6 +375,12 @@ def sweep_n_clusters(
     ground_truth: GroundTruth | None = None,
     threshold: float = 0.0,
     cache: ArtifactCache | None = None,
+    mode: str = "strict",
+    retry: RetryPolicy | None = None,
+    budgets: dict[str, Budget] | None = None,
+    plan_budget: Budget | None = None,
+    journal: RunJournal | None = None,
+    resume: JournalReplay | None = None,
 ) -> list[SweepPoint]:
     """Avg-F / time vs requested cluster count (Figures 5, 7, 8, 9).
 
@@ -217,6 +406,12 @@ def sweep_n_clusters(
         ground_truth,
         cache,
         "sweep_n_clusters",
+        mode=mode,
+        retry=retry,
+        budgets=budgets,
+        plan_budget=plan_budget,
+        journal=journal,
+        resume=resume,
     )
 
 
@@ -228,6 +423,12 @@ def sweep_threshold(
     ground_truth: GroundTruth | None = None,
     symmetrization: str | Symmetrization = "degree_discounted",
     cache: ArtifactCache | None = None,
+    mode: str = "strict",
+    retry: RetryPolicy | None = None,
+    budgets: dict[str, Budget] | None = None,
+    plan_budget: Budget | None = None,
+    journal: RunJournal | None = None,
+    resume: JournalReplay | None = None,
 ) -> list[SweepPoint]:
     """The Table-3 study: prune threshold vs edges / Avg-F / time.
 
@@ -256,6 +457,12 @@ def sweep_threshold(
         ground_truth,
         cache,
         "sweep_threshold",
+        mode=mode,
+        retry=retry,
+        budgets=budgets,
+        plan_budget=plan_budget,
+        journal=journal,
+        resume=resume,
     )
 
 
@@ -268,6 +475,12 @@ def sweep_alpha_beta(
     threshold: float = 0.0,
     target_degree: float | None = None,
     cache: ArtifactCache | None = None,
+    mode: str = "strict",
+    retry: RetryPolicy | None = None,
+    budgets: dict[str, Budget] | None = None,
+    plan_budget: Budget | None = None,
+    journal: RunJournal | None = None,
+    resume: JournalReplay | None = None,
 ) -> list[SweepPoint]:
     """The Table-4 study: Avg-F per (α, β) configuration.
 
@@ -307,4 +520,10 @@ def sweep_alpha_beta(
         ground_truth,
         cache,
         "sweep_alpha_beta",
+        mode=mode,
+        retry=retry,
+        budgets=budgets,
+        plan_budget=plan_budget,
+        journal=journal,
+        resume=resume,
     )

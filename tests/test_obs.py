@@ -319,6 +319,13 @@ def _synthetic_manifest(**overrides) -> RunManifest:
             "misses": 1,
             "artifact_keys": ["cd" * 32],
         },
+        fault_tolerance={
+            "journal": "runs/journal.jsonl",
+            "run_id": "ef" * 6,
+            "resumed": False,
+            "stage_retries": 1,
+            "stages_resumed": 0,
+        },
         timings={"symmetrize_seconds": 0.5, "cluster_seconds": 1.0},
     )
     base.update(overrides)

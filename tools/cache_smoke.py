@@ -1,9 +1,10 @@
-"""CI smoke check for the content-addressed artifact cache.
+"""CI smoke check for the artifact cache and crash/resume runtime.
 
-Runs a ``sweep_threshold`` grid twice against one disk-backed
-:class:`~repro.engine.ArtifactCache` — a cold pass that computes and
-stores the artifacts, then a warm pass that must be served from the
-cache — and asserts the engine-cache acceptance criteria:
+Part 1 — cache identity. Runs a ``sweep_threshold`` grid twice
+against one disk-backed :class:`~repro.engine.ArtifactCache` — a cold
+pass that computes and stores the artifacts, then a warm pass that
+must be served from the cache — and asserts the engine-cache
+acceptance criteria:
 
 1. the warm pass records at least one cache hit;
 2. every warm point is edge-for-edge identical to its cold twin
@@ -12,21 +13,151 @@ cache — and asserts the engine-cache acceptance criteria:
    over the same directory (the cross-process story CI can't spawn a
    real second process for cheaply).
 
+Part 2 — resume identity. Spawns the same sweep as a *subprocess*
+with a write-ahead journal and an injected ``kill_process`` fault
+(SIGKILL after the second grid point), then resumes from the journal
+in this process and asserts the resumed grid is point-for-point
+identical to an uninterrupted run — the crash/resume acceptance
+criterion of ``docs/robustness.md``.
+
 Exit code 0 on success, 1 with a diagnostic on any violation.
 
 Usage::
 
     PYTHONPATH=src python tools/cache_smoke.py [--nodes N] [--dir D]
+
+``--resume-child`` is internal: it marks the subprocess that kills
+itself mid-sweep.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
+import subprocess
 import sys
 import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
+
+#: Shared grid so the killed child and the resuming parent agree.
+THRESHOLDS = [0.1, 0.25, 0.5]
+N_CLUSTERS = 12
+
+
+def _build_graph(nodes: int, seed: int):
+    from repro.graph.generators import power_law_digraph
+
+    return power_law_digraph(nodes, np.random.default_rng(seed))
+
+
+def _resume_child(args: argparse.Namespace) -> int:
+    """Subprocess body: journal a sweep, SIGKILL self mid-grid."""
+    from repro.engine import Fault, RunJournal, inject_faults
+    from repro.pipeline.sweep import sweep_threshold
+
+    graph = _build_graph(args.nodes, args.seed)
+    journal = RunJournal(args.journal)
+    fault = Fault(site="sweep.point", kind="kill_process", at=2)
+    with inject_faults([fault]):
+        sweep_threshold(
+            graph,
+            thresholds=THRESHOLDS,
+            clusterer="mlrmcl",
+            n_clusters=N_CLUSTERS,
+            journal=journal,
+        )
+    print(
+        "resume-smoke child survived its own kill fault",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _resume_smoke(args: argparse.Namespace) -> list[str]:
+    """SIGKILL a journaled sweep subprocess, resume, compare."""
+    import repro
+    from repro.engine import JournalReplay
+    from repro.pipeline.sweep import sweep_threshold
+
+    failures: list[str] = []
+    scratch = Path(tempfile.mkdtemp(prefix="repro-resume-smoke-"))
+    journal_path = scratch / "run.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(Path(repro.__file__).parents[1])
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [
+            sys.executable,
+            __file__,
+            "--resume-child",
+            "--nodes", str(args.nodes),
+            "--seed", str(args.seed),
+            "--journal", str(journal_path),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    if proc.returncode != -signal.SIGKILL:
+        failures.append(
+            f"resume child exited {proc.returncode}; expected "
+            f"SIGKILL ({-signal.SIGKILL}): {proc.stderr[-300:]}"
+        )
+        return failures
+    replay = JournalReplay.from_path(journal_path)
+    if len(replay.completed_points) != 2:
+        failures.append(
+            f"journal recorded {len(replay.completed_points)} "
+            "points before the kill; expected 2"
+        )
+    if replay.finished:
+        failures.append("killed run wrote a run_end record")
+
+    graph = _build_graph(args.nodes, args.seed)
+    resumed = sweep_threshold(
+        graph,
+        thresholds=THRESHOLDS,
+        clusterer="mlrmcl",
+        n_clusters=N_CLUSTERS,
+        resume=replay,
+    )
+    clean = sweep_threshold(
+        graph,
+        thresholds=THRESHOLDS,
+        clusterer="mlrmcl",
+        n_clusters=N_CLUSTERS,
+    )
+    replayed = sum(1 for p in resumed if p.resumed)
+    if replayed != 2:
+        failures.append(
+            f"resume replayed {replayed} points; expected 2"
+        )
+    for a, b in zip(clean, resumed):
+        if (a.n_edges, a.n_clusters, a.average_f) != (
+            b.n_edges,
+            b.n_clusters,
+            b.average_f,
+        ):
+            failures.append(
+                f"threshold {a.parameter}: clean "
+                f"({a.n_edges} edges, {a.n_clusters} clusters) != "
+                f"resumed ({b.n_edges}, {b.n_clusters})"
+            )
+    print(
+        f"resume smoke: SIGKILL after 2/{len(THRESHOLDS)} points, "
+        f"resumed {replayed} from {journal_path.name} "
+        f"({time.perf_counter() - t0:.3f}s)"
+    )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -39,27 +170,39 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="cache directory (default: a fresh temp dir)",
     )
+    parser.add_argument(
+        "--skip-resume",
+        action="store_true",
+        help="run only the cold/warm cache identity check",
+    )
+    parser.add_argument(
+        "--resume-child",
+        action="store_true",
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
+        "--journal", default=None, help=argparse.SUPPRESS
+    )
     args = parser.parse_args(argv)
 
+    if args.resume_child:
+        return _resume_child(args)
+
     from repro.engine.cache import ArtifactCache
-    from repro.graph.generators import power_law_digraph
     from repro.pipeline.sweep import sweep_threshold
 
     cache_dir = args.cache_dir or tempfile.mkdtemp(
         prefix="repro-cache-smoke-"
     )
-    graph = power_law_digraph(
-        args.nodes, np.random.default_rng(args.seed)
-    )
-    thresholds = [0.1, 0.25, 0.5]
+    graph = _build_graph(args.nodes, args.seed)
 
     def run(cache: ArtifactCache):
         t0 = time.perf_counter()
         points = sweep_threshold(
             graph,
-            thresholds=thresholds,
+            thresholds=THRESHOLDS,
             clusterer="mlrmcl",
-            n_clusters=12,
+            n_clusters=N_CLUSTERS,
             cache=cache,
         )
         return points, time.perf_counter() - t0
@@ -97,11 +240,15 @@ def main(argv: list[str] | None = None) -> int:
 
     print(
         f"cache smoke @{graph.n_nodes} nodes x "
-        f"{len(thresholds)} thresholds: "
+        f"{len(THRESHOLDS)} thresholds: "
         f"cold {cold_seconds:.3f}s (misses={cold_cache.misses}), "
         f"warm {warm_seconds:.3f}s (hits={warm_cache.hits}) "
         f"-> {cache_dir}"
     )
+
+    if not args.skip_resume:
+        failures.extend(_resume_smoke(args))
+
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
