@@ -7,6 +7,7 @@
 #   make fault-smoke   fault-injection marker subset
 #   make chaos-smoke   chaos-harness recovery subset (retries, budgets)
 #   make bench-smoke   repro bench --smoke + benchmark smoke subset
+#   make scale-smoke   out-of-core 50k-node bench under wall/mem budget
 #   make cache-smoke   cache identity + SIGKILL/resume smoke
 #   make coverage      pytest-cov gate (falls back to the stdlib tool)
 #   make ci            everything the PR gate runs
@@ -17,7 +18,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint format-check fault-smoke chaos-smoke bench-smoke \
-	cache-smoke coverage ci clean
+	scale-smoke cache-smoke coverage ci clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +42,9 @@ bench-smoke:
 		benchmarks/test_table1_datasets.py \
 		benchmarks/test_table2_edges.py
 
+scale-smoke:
+	REPRO_SCALE_SMOKE=1 $(PYTHON) -m pytest -m scale_smoke -q
+
 cache-smoke:
 	$(PYTHON) tools/cache_smoke.py
 
@@ -52,7 +56,7 @@ coverage:
 		$(PYTHON) tools/measure_coverage.py; \
 	fi
 
-ci: lint test fault-smoke chaos-smoke bench-smoke cache-smoke
+ci: lint test fault-smoke chaos-smoke bench-smoke scale-smoke cache-smoke
 
 clean:
 	rm -rf .pytest_cache .ruff_cache coverage.xml .coverage \

@@ -9,6 +9,7 @@ Subcommands mirror the library's workflow on plain-text edge lists::
     python -m repro generate    cora out.txt --labels labels.txt -n 1500
     python -m repro evaluate    labels.txt truth.txt
     python -m repro bench       -o BENCH_allpairs.json --smoke
+    python -m repro bench       --scale -o BENCH_scale.json
     python -m repro cache       list | stats | clear
     python -m repro sweep       graph.txt -k 10 20 30 --journal run.jsonl
     python -m repro resume      run.jsonl
@@ -282,14 +283,43 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help=(
             "symmetrize+cluster perf sweep on synthetic power-law "
-            "graphs; writes BENCH_allpairs.json"
+            "graphs; writes BENCH_allpairs.json (BENCH_scale.json "
+            "with --scale)"
         ),
     )
     p.add_argument(
         "-o",
         "--output",
-        default="BENCH_allpairs.json",
-        help="where to write the JSON results",
+        default=None,
+        help=(
+            "where to write the JSON results (default: "
+            "BENCH_allpairs.json, or BENCH_scale.json with --scale)"
+        ),
+    )
+    p.add_argument(
+        "--scale",
+        action="store_true",
+        help=(
+            "out-of-core scale bench instead: mmap-backed power-law "
+            "graphs (default 100k and 1M nodes) through the sharded "
+            "symmetrize->prune path, with peak-RSS regression floor"
+        ),
+    )
+    p.add_argument(
+        "--block-size",
+        type=int,
+        default=4096,
+        help="rows per shard block in --scale mode",
+    )
+    p.add_argument(
+        "--d-max",
+        type=int,
+        default=None,
+        help=(
+            "cap on out-degrees and expected in-degrees for --scale "
+            "graphs (default: fixed cap of 100 so the curve isolates "
+            "scaling in n)"
+        ),
     )
     p.add_argument(
         "--sizes",
@@ -737,6 +767,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
+    if args.scale:
+        return _cmd_bench_scale(args)
+    if args.output is None:
+        args.output = "BENCH_allpairs.json"
     results = run_bench(
         sizes=args.sizes,
         thresholds=args.thresholds,
@@ -754,6 +788,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.obs.manifest import append_manifest
 
         append_manifest(bench_manifest(results), args.runlog)
+        print(f"run manifest appended to {args.runlog}")
+    return 0 if results["regression"]["passed"] else 1
+
+
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    from repro.perf.bench import write_bench
+    from repro.perf.scale_bench import (
+        DEFAULT_SCALE_D_MAX,
+        DEFAULT_SCALE_THRESHOLD,
+        format_scale_summary,
+        run_scale_bench,
+        scale_manifest,
+    )
+
+    threshold = (
+        args.thresholds[0]
+        if args.thresholds
+        else DEFAULT_SCALE_THRESHOLD
+    )
+    results = run_scale_bench(
+        sizes=args.sizes,
+        threshold=threshold,
+        n_jobs=args.n_jobs,
+        block_size=args.block_size,
+        d_max=(
+            args.d_max if args.d_max is not None else DEFAULT_SCALE_D_MAX
+        ),
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    path = write_bench(
+        results,
+        args.output if args.output is not None else "BENCH_scale.json",
+    )
+    print(format_scale_summary(results))
+    print(f"results written to {path}")
+    if args.runlog is not None:
+        from repro.obs.manifest import append_manifest
+
+        append_manifest(scale_manifest(results), args.runlog)
         print(f"run manifest appended to {args.runlog}")
     return 0 if results["regression"]["passed"] else 1
 

@@ -34,6 +34,10 @@ The fault-tolerant runtime layers on top:
   :class:`~repro.engine.journal.JournalReplay` feeds
   ``Executor(resume_from=...)`` and ``sweep_*(..., resume=...)`` so an
   interrupted run recomputes only its unfinished tail;
+- :class:`~repro.engine.pool.WorkerPool` — a shared, crash-tolerant
+  process pool with an ambient installer (:func:`worker_pool`) that
+  sweep points and sharded kernels draw from together, with lost
+  payloads re-executed in-process;
 - :mod:`~repro.engine.chaos` — deterministic fault injection
   (:func:`inject_faults`) for proving the recovery paths work.
 
@@ -77,6 +81,7 @@ from repro.engine.journal import (
 )
 from repro.engine.plan import Plan
 from repro.engine.policy import Budget, BudgetMeter, RetryPolicy
+from repro.engine.pool import WorkerPool, current_pool, worker_pool
 from repro.engine.stage import Stage, StageContext
 from repro.engine.stages import (
     ClusterStage,
@@ -121,6 +126,10 @@ __all__ = [
     "Budget",
     "BudgetMeter",
     "RetryPolicy",
+    # worker pool
+    "WorkerPool",
+    "worker_pool",
+    "current_pool",
     # journal / resume
     "JOURNAL_SCHEMA",
     "RunJournal",

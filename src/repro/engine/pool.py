@@ -1,0 +1,190 @@
+"""A shared, crash-tolerant process pool for sharded kernels and sweeps.
+
+The sharded all-pairs kernel (:mod:`repro.linalg.allpairs`) and the
+sweep drivers (:mod:`repro.pipeline.sweep`) both fan work out over
+processes. Before this module each call site built its own
+:class:`~concurrent.futures.ProcessPoolExecutor`, so a threshold sweep
+over an out-of-core graph would fork a fresh pool per grid point per
+factor. :class:`WorkerPool` centralizes that: one pool, installed as
+ambient state with :func:`worker_pool`, serves every fan-out beneath
+it — sweep points and row-block shards share the same workers.
+
+The pool carries the crash-recovery contract the kernels rely on:
+
+- payloads are submitted as individual futures, so a worker that dies
+  (OOM kill, segfault, injected ``kill_worker`` chaos fault) loses
+  only its own payloads;
+- lost payloads are re-executed *in-process* via the caller-supplied
+  fallback (tasks are pure functions of their payload, so re-execution
+  is exact), counted in the ``worker_crashes_total`` metric and
+  surfaced as an :class:`~repro.exceptions.ExecutionWarning` with code
+  ``worker_crash``;
+- a broken executor is discarded and lazily rebuilt, so one crash does
+  not poison the rest of a sweep;
+- environments that cannot fork/spawn at all (sandboxes) make
+  :meth:`WorkerPool.run` return ``None`` and callers fall back to
+  their serial path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import warnings
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
+
+from repro.exceptions import ExecutionWarning
+from repro.obs.metrics import metric_inc
+
+__all__ = ["WorkerPool", "worker_pool", "current_pool"]
+
+
+class WorkerPool:
+    """A lazily-created process pool with in-process crash recovery.
+
+    Parameters
+    ----------
+    max_workers:
+        Upper bound on concurrent worker processes. Individual
+        :meth:`run` calls may use fewer (one future per payload).
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = int(max_workers)
+        self._executor: ProcessPoolExecutor | None = None
+        self._unavailable = False
+
+    # -- lifecycle -------------------------------------------------
+
+    def _ensure_executor(self) -> ProcessPoolExecutor | None:
+        if self._unavailable:
+            return None
+        if self._executor is None:
+            try:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers
+                )
+            except (OSError, PermissionError, ValueError):
+                # Sandboxed environment: no fork/spawn. Remember, so
+                # later run() calls short-circuit to serial.
+                self._unavailable = True
+                return None
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def close(self) -> None:
+        """Shut the underlying executor down (idempotent)."""
+        self._discard_executor()
+
+    def __enter__(self) -> WorkerPool:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        fallback: Callable[[Any], Any] | None = None,
+    ) -> list[Any] | None:
+        """``[fn(p) for p in payloads]`` across the pool.
+
+        Each payload is one future; results come back in payload
+        order. Payloads lost to a dead worker are re-executed
+        in-process through ``fallback`` (default: ``fn`` itself) after
+        emitting the ``worker_crash`` warning + metric. Returns
+        ``None`` when no pool can be created in this environment —
+        callers run their serial path instead.
+        """
+        executor = self._ensure_executor()
+        if executor is None:
+            return None
+        results: list[Any] = [None] * len(payloads)
+        lost: list[int] = []
+        try:
+            futures = {
+                index: executor.submit(fn, payload)
+                for index, payload in enumerate(payloads)
+            }
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    # One dead worker breaks the executor: every
+                    # unfinished payload surfaces here and is re-run
+                    # in-process below.
+                    lost.append(index)
+        except (OSError, PermissionError):
+            self._unavailable = True
+            self._discard_executor()
+            return None
+        if lost:
+            # The executor is unusable after a break; rebuild lazily
+            # on the next run() so one crash does not end the sweep.
+            self._discard_executor()
+            metric_inc("worker_crashes_total")
+            warnings.warn(
+                ExecutionWarning(
+                    f"a pool worker died; re-executing {len(lost)} "
+                    "lost payload(s) in-process",
+                    code="worker_crash",
+                ),
+                stacklevel=2,
+            )
+            rerun = fallback if fallback is not None else fn
+            for index in lost:
+                results[index] = rerun(payloads[index])
+        return results
+
+    def __repr__(self) -> str:
+        state = (
+            "unavailable"
+            if self._unavailable
+            else ("live" if self._executor is not None else "idle")
+        )
+        return f"WorkerPool(max_workers={self.max_workers}, {state})"
+
+
+_POOL: contextvars.ContextVar[WorkerPool | None] = (
+    contextvars.ContextVar("repro_worker_pool", default=None)
+)
+
+
+def current_pool() -> WorkerPool | None:
+    """The ambient worker pool, or ``None`` when none is installed."""
+    return _POOL.get()
+
+
+@contextlib.contextmanager
+def worker_pool(
+    max_workers: int, pool: WorkerPool | None = None
+) -> Iterator[WorkerPool]:
+    """Install a :class:`WorkerPool` as the ambient pool.
+
+    Sharded kernels and sweep drivers beneath the block pick it up via
+    :func:`current_pool` instead of forking their own executors, so
+    the whole run shares ``max_workers`` processes. The pool is closed
+    when the block exits (unless a caller-owned ``pool`` was passed
+    in).
+    """
+    owned = pool is None
+    installed = pool if pool is not None else WorkerPool(max_workers)
+    token = _POOL.set(installed)
+    try:
+        yield installed
+    finally:
+        _POOL.reset(token)
+        if owned:
+            installed.close()

@@ -25,6 +25,7 @@ __all__ = [
     "ConvergenceError",
     "EvaluationError",
     "DatasetError",
+    "StorageError",
     "PipelineError",
     "TransientError",
     "WorkerCrashError",
@@ -81,6 +82,12 @@ class EvaluationError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator was given unsatisfiable parameters."""
+
+
+class StorageError(ReproError):
+    """An out-of-core store (:mod:`repro.linalg.mmcsr`) is missing,
+    incomplete, or inconsistent — e.g. opening the scratch directory
+    left behind by a crashed build, or a row window out of range."""
 
 
 class PipelineError(ReproError):

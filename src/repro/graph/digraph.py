@@ -74,7 +74,7 @@ class DirectedGraph:
     (True, False)
     """
 
-    __slots__ = ("_adj", "_names", "_name_index")
+    __slots__ = ("_adj", "_names", "_name_index", "_store")
 
     def __init__(
         self,
@@ -94,6 +94,7 @@ class DirectedGraph:
             report.raise_errors()
             report.emit_warnings(stacklevel=3)
         self._adj = csr
+        self._store = None
         if node_names is not None:
             names = list(node_names)
             if len(names) != csr.shape[0]:
@@ -154,6 +155,62 @@ class DirectedGraph:
         return cls(adj, node_names=node_names)
 
     @classmethod
+    def from_mmcsr(
+        cls,
+        store: object,
+        node_names: Sequence[object] | None = None,
+        validate: bool | str = True,
+    ) -> "DirectedGraph":
+        """Wrap an out-of-core :class:`~repro.linalg.mmcsr.MmapCSR`
+        store (or its directory path) without copying the matrix.
+
+        The adjacency becomes a ``csr_array`` of views over the
+        store's memory-mapped buffers: the normal constructor's
+        canonicalizing copy (:func:`_as_csr`) is bypassed, which is
+        sound because finalized stores are canonical by construction
+        — rows sorted by column, duplicates summed, float64 data.
+        Validation (on by default) streams through the mapped data
+        once without materializing it.
+
+        The store handle is kept on the graph (:attr:`mmap_store`),
+        so out-of-core-aware kernels can hand workers the store path
+        instead of pickled matrices.
+        """
+        from repro.linalg.mmcsr import MmapCSR
+        from repro.validate.invariants import (
+            coerce_level,
+            validate_directed_graph,
+        )
+
+        if not isinstance(store, MmapCSR):
+            store = MmapCSR.open(store)  # type: ignore[arg-type]
+        n_rows, n_cols = store.shape
+        if n_rows != n_cols:
+            raise GraphError(
+                f"adjacency store must be square, got {store.shape}"
+            )
+        csr = store.to_scipy()
+        level = coerce_level(validate)
+        if level != "none":
+            report = validate_directed_graph(csr, level=level)
+            report.raise_errors()
+            report.emit_warnings(stacklevel=3)
+        graph = cls.__new__(cls)
+        graph._adj = csr
+        graph._store = store
+        if node_names is not None:
+            names = list(node_names)
+            if len(names) != n_rows:
+                raise GraphError(
+                    f"{len(names)} node names for {n_rows} nodes"
+                )
+            graph._names = names
+        else:
+            graph._names = None
+        graph._name_index = None
+        return graph
+
+    @classmethod
     def empty(cls, n_nodes: int) -> "DirectedGraph":
         """An edgeless directed graph on ``n_nodes`` nodes."""
         if n_nodes < 0:
@@ -177,6 +234,12 @@ class DirectedGraph:
     def n_edges(self) -> int:
         """Number of stored directed edges (non-zero entries of ``A``)."""
         return int(self._adj.nnz)
+
+    @property
+    def mmap_store(self) -> object | None:
+        """The backing :class:`~repro.linalg.mmcsr.MmapCSR` store when
+        this graph was built with :meth:`from_mmcsr`, else ``None``."""
+        return self._store
 
     @property
     def node_names(self) -> list[object] | None:

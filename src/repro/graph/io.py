@@ -33,11 +33,19 @@ __all__ = [
 ]
 
 
+#: Edges buffered per flush in streaming reads: bounds resident parse
+#: state to ~24 MB of Python floats/ints however large the input file.
+STREAM_CHUNK_EDGES = 1 << 18
+
+
 def read_edge_list(
     path: str | Path,
     directed: bool = True,
     comment: str = "#",
     n_nodes: int | None = None,
+    streaming: bool = False,
+    store_dir: str | Path | None = None,
+    chunk_edges: int = STREAM_CHUNK_EDGES,
 ) -> DirectedGraph | UndirectedGraph:
     """Read a whitespace-separated edge list.
 
@@ -49,7 +57,25 @@ def read_edge_list(
     :class:`~repro.exceptions.GraphFormatError` naming the file and
     line number. Duplicate edges are legal (weights sum) but reported
     with a :class:`~repro.exceptions.ValidationWarning`.
+
+    With ``streaming=True`` (directed graphs only) the file is parsed
+    in chunks of ``chunk_edges`` lines straight into an out-of-core
+    :class:`~repro.linalg.mmcsr.MmapCSRBuilder`, so ingest peak RSS
+    is O(chunk) instead of O(edges) — the path for paper-scale inputs
+    like the 77M-edge LiveJournal list. The finished store lands at
+    ``store_dir`` (default: ``<path>.mmcsr`` next to the input;
+    published atomically) and the returned graph is backed by it via
+    :meth:`DirectedGraph.from_mmcsr`.
     """
+    if streaming:
+        return _read_edge_list_streaming(
+            Path(path),
+            directed=directed,
+            comment=comment,
+            n_nodes=n_nodes,
+            store_dir=store_dir,
+            chunk_edges=chunk_edges,
+        )
     edges: list[tuple[int, int, float]] = []
     seen: set[tuple[int, int]] = set()
     n_duplicates = 0
@@ -96,6 +122,97 @@ def read_edge_list(
         )
     cls = DirectedGraph if directed else UndirectedGraph
     return cls.from_edges(edges, n_nodes=n_nodes)
+
+
+def _read_edge_list_streaming(
+    path: Path,
+    directed: bool,
+    comment: str,
+    n_nodes: int | None,
+    store_dir: str | Path | None,
+    chunk_edges: int,
+) -> DirectedGraph:
+    """Chunked edge-list ingest into a memory-mapped CSR store.
+
+    Line validation is identical to the in-RAM path; the O(edges)
+    ``seen`` set is replaced by the builder's compaction pass, which
+    merges duplicates on disk and reports how many it merged.
+    """
+    from repro.linalg.mmcsr import MmapCSRBuilder
+
+    if not directed:
+        raise GraphFormatError(
+            "streaming edge-list reads produce DirectedGraph only; "
+            "symmetrize the result for an undirected view"
+        )
+    if chunk_edges < 1:
+        raise GraphFormatError("chunk_edges must be >= 1")
+    store_dir = (
+        Path(store_dir)
+        if store_dir is not None
+        else path.with_name(path.name + ".mmcsr")
+    )
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    n_edges = 0
+    with MmapCSRBuilder(
+        store_dir, n_rows=n_nodes, n_cols=n_nodes, square=True
+    ) as builder:
+        with path.open() as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line or line.startswith(comment):
+                    continue
+                parts = line.split()
+                if len(parts) not in (2, 3):
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: expected 2 or 3 fields, "
+                        f"got {len(parts)}"
+                    )
+                try:
+                    src, dst = int(parts[0]), int(parts[1])
+                    weight = (
+                        float(parts[2]) if len(parts) == 3 else 1.0
+                    )
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: {exc}"
+                    ) from exc
+                if src < 0 or dst < 0:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: negative node id in edge "
+                        f"({src}, {dst}); node ids must be >= 0"
+                    )
+                if not math.isfinite(weight):
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: non-finite edge weight "
+                        f"{parts[2]!r}; weights must be finite numbers"
+                    )
+                rows.append(src)
+                cols.append(dst)
+                vals.append(weight)
+                n_edges += 1
+                if len(rows) >= chunk_edges:
+                    builder.add_chunk(rows, cols, vals)
+                    rows, cols, vals = [], [], []
+        if rows:
+            builder.add_chunk(rows, cols, vals)
+        if not n_edges and n_nodes is None:
+            raise GraphFormatError(
+                f"{path}: no edges and no n_nodes given"
+            )
+        store = builder.finalize()
+    if builder.n_duplicates:
+        warnings.warn(
+            ValidationWarning(
+                f"{path}: {builder.n_duplicates} duplicate edge "
+                "line(s); their weights are summed",
+                code="duplicate_edges",
+            ),
+            stacklevel=3,
+        )
+    return DirectedGraph.from_mmcsr(store)
 
 
 def write_edge_list(

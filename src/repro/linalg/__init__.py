@@ -3,6 +3,9 @@
 - :mod:`~repro.linalg.allpairs` — threshold-aware all-pairs similarity
   (§3.6): the blocked vectorized engine and the pure-Python reference
   oracle behind the degree-discounted fast path.
+- :mod:`~repro.linalg.mmcsr` — out-of-core CSR storage: chunk-built,
+  memory-mapped matrices that the sharded kernels and streaming graph
+  readers use to reach paper-scale graphs without RAM-resident edges.
 - :mod:`~repro.linalg.pagerank` — transition matrices and stationary
   distributions of random walks (used by the Random-walk symmetrization
   and the directed spectral baselines).
@@ -11,6 +14,7 @@
 """
 
 from repro.linalg.allpairs import thresholded_gram_matrix
+from repro.linalg.mmcsr import MmapCSR, MmapCSRBuilder
 from repro.linalg.pagerank import (
     pagerank,
     stationary_distribution,
@@ -25,6 +29,8 @@ from repro.linalg.sparse_utils import (
 
 __all__ = [
     "thresholded_gram_matrix",
+    "MmapCSR",
+    "MmapCSRBuilder",
     "pagerank",
     "stationary_distribution",
     "transition_matrix",

@@ -37,11 +37,21 @@ no Python loop). Rows are then processed in *blocks*:
    (:class:`_TripletBuffer`), doubled geometrically like a C++
    vector.
 
-Blocks are independent, so an opt-in ``n_jobs`` fans them out over a
-:class:`concurrent.futures.ProcessPoolExecutor` (SciPy's sparse
-kernels hold the GIL, so threads cannot overlap them) and merges the
-per-block triplets exactly; environments that cannot fork fall back
-to the serial path.
+Blocks are independent, so an opt-in ``n_jobs`` fans them out over
+worker processes (SciPy's sparse kernels hold the GIL, so threads
+cannot overlap them) and merges the per-block triplets exactly;
+environments that cannot fork fall back to the serial path. The
+fan-out is *out-of-core*: the matrix and its suffix index are spilled
+once to :class:`~repro.linalg.mmcsr.MmapCSR` stores and workers
+receive only shard descriptors (store paths plus a chunk index — a
+few hundred bytes), mapping the rows they need instead of unpickling
+whole matrices; accepted triplets are spilled back as per-shard
+artifacts the parent concatenates. With an ambient disk
+:class:`~repro.engine.cache.ArtifactCache`, spills and finished
+shards are content-addressed under ``<cache>/shards/`` and reused on
+resume. Workers come from the ambient
+:class:`~repro.engine.pool.WorkerPool` when one is installed (so a
+sweep shares one pool across points), or a private pool otherwise.
 
 :meth:`repro.symmetrize.DegreeDiscountedSymmetrization` exposes this
 through ``apply_pruned`` using the factorizations
@@ -51,17 +61,26 @@ through ``apply_pruned`` using the factorizations
 
 from __future__ import annotations
 
+import hashlib
 import os
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+import shutil
+import tempfile
+from pathlib import Path
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.engine.cache import current_cache
 from repro.engine.chaos import chaos
-from repro.exceptions import ExecutionWarning, SymmetrizationError
-from repro.obs.metrics import metric_inc, metric_observe
+from repro.engine.pool import WorkerPool, current_pool
+from repro.exceptions import StorageError, SymmetrizationError
+from repro.linalg.mmcsr import MmapCSR
+from repro.obs.metrics import (
+    metric_inc,
+    metric_observe,
+    metric_set,
+    peak_rss_bytes,
+)
 from repro.obs.trace import span
 from repro.perf.stopwatch import add_counters
 
@@ -76,7 +95,22 @@ DEFAULT_BLOCK_SIZE = 512
 
 #: Candidate pairs verified per gather batch (bounds the memory of the
 #: gathered row selections).
-_VERIFY_BATCH = 1 << 18
+_VERIFY_BATCH = 1 << 16
+
+#: Ceiling on the estimated candidate count materialized by one sparse
+#: product. A row block's candidate matrix ``block @ suffixᵀ`` has one
+#: entry per (row, earlier-row) pair sharing an indexed feature, which
+#: is bounded by row count only through the *column* sizes of the
+#: suffix index — a hub column shared by ten thousand rows makes a
+#: 4096-row block emit tens of millions of pairs, and the COO
+#: expansion of such a product transiently allocates gigabytes.
+#: Blocks are therefore split into row spans whose estimated candidate
+#: count (sum of suffix column sizes over each row's features, an
+#: upper bound on the product nnz) stays under this ceiling, keeping
+#: peak memory bounded by the ceiling rather than the graph's hub
+#: structure. Output is unaffected: candidates are per-row, so the
+#: split changes batching only.
+_MAX_BLOCK_CANDIDATES = 4 << 20
 
 #: Relative safety margin on the prefix boundary: the segmented cumsum
 #: differs from the oracle's per-row accumulation in the last ULP, so
@@ -335,6 +369,69 @@ def _verify_pairs(
         out.extend(li[keep], ri[keep], scores[keep])
 
 
+def _suffix_column_counts(suffix: sp.csr_array) -> np.ndarray:
+    """Entries per column of the suffix index (the posting sizes)."""
+    return np.bincount(
+        suffix.indices, minlength=suffix.shape[1]
+    ).astype(np.int64)
+
+
+def _row_spans(
+    block: sp.csr_array,
+    colcount: np.ndarray,
+    cap: int = _MAX_BLOCK_CANDIDATES,
+) -> list[tuple[int, int]]:
+    """Split a row block into spans of bounded candidate estimate.
+
+    ``colcount`` holds the suffix index's per-column entry counts, so
+    ``sum(colcount[features of row r])`` upper-bounds row ``r``'s
+    share of the candidate product's nnz. Greedy accumulation keeps
+    each span's estimate under ``cap`` (single rows may exceed it —
+    a row's candidates cannot be subdivided). Spans cover the block's
+    rows exactly once, in order.
+    """
+    n_rows = block.shape[0]
+    entry_cum = np.concatenate(
+        ([0], np.cumsum(colcount[block.indices], dtype=np.int64))
+    )
+    # Cumulative estimate by row boundary: row_cum[i] covers rows < i.
+    row_cum = entry_cum[block.indptr]
+    spans: list[tuple[int, int]] = []
+    a = 0
+    while a < n_rows:
+        b = int(
+            np.searchsorted(row_cum, row_cum[a] + cap, side="right") - 1
+        )
+        b = max(b, a + 1)
+        spans.append((a, min(b, n_rows)))
+        a = b
+    return spans
+
+
+def _candidate_pairs(
+    block: sp.csr_array,
+    suffix_window: sp.csr_array,
+    start: int,
+    colcount: np.ndarray,
+):
+    """Yield ``(left, right)`` candidate-pair arrays for one block.
+
+    The nonzeros of ``block @ suffix_windowᵀ`` are the pairs sharing
+    an indexed feature; partners are restricted to strictly-earlier
+    rows, which reproduces the sequential probe order exactly. The
+    product is materialized one bounded row span at a time (see
+    :data:`_MAX_BLOCK_CANDIDATES`), so peak memory tracks the span
+    ceiling, not the hub structure of the matrix.
+    """
+    suffix_t = suffix_window.T
+    for a, b in _row_spans(block, colcount):
+        cand = (block[a:b] @ suffix_t).tocoo()
+        left = cand.row.astype(np.int64) + start + a
+        right = cand.col.astype(np.int64)
+        earlier = right < left
+        yield left[earlier], right[earlier]
+
+
 def _process_blocks(
     csr: sp.csr_array,
     suffix: sp.csr_array,
@@ -350,42 +447,122 @@ def _process_blocks(
     """
     out = _TripletBuffer()
     n_candidates = 0
+    colcount = _suffix_column_counts(suffix)
     for start in block_starts:
         end = min(start + block_size, csr.shape[0])
         block = csr[start:end]
         if block.nnz == 0:
             continue
         with span(f"gram_block[{start}]") as sp_:
-            # Nonzeros of block @ suffixᵀ are the pairs sharing an
-            # indexed feature; partners are restricted to
-            # strictly-earlier rows, which reproduces the sequential
-            # probe order exactly.
-            cand = (block @ suffix[:end].T).tocoo()
-            left = cand.row.astype(np.int64) + start
-            right = cand.col.astype(np.int64)
-            earlier = right < left
-            left, right = left[earlier], right[earlier]
-            n_candidates += left.size
+            block_candidates = 0
             kept_before = len(out)
-            _verify_pairs(csr, left, right, threshold, out)
+            for left, right in _candidate_pairs(
+                block, suffix[:end], start, colcount
+            ):
+                block_candidates += left.size
+                _verify_pairs(csr, left, right, threshold, out)
+            n_candidates += block_candidates
             sp_.set(
                 rows=end - start,
-                candidate_pairs=int(left.size),
+                candidate_pairs=block_candidates,
                 kept_pairs=len(out) - kept_before,
             )
-            metric_observe("gram_block_candidates", left.size)
+            metric_observe("gram_block_candidates", block_candidates)
     return out, n_candidates
 
 
-def _block_worker(
-    csr: sp.csr_array,
-    suffix: sp.csr_array,
-    threshold: float,
-    block_starts: list[int],
-    block_size: int,
-    chaos_exit: bool = False,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-    """Process-pool task: plain arrays keep the return payload small.
+def _chunk_starts(
+    n_rows: int, block_size: int, chunk_index: int, n_chunks: int
+) -> list[int]:
+    """The block starts of one worker chunk, derived from four ints.
+
+    Workers receive ``(chunk_index, n_chunks)`` instead of an explicit
+    start list so the pickled payload stays O(1) regardless of graph
+    size; chunks interleave (``starts[w::n_chunks]``) to balance the
+    denser early blocks (which face fewer earlier partners) across
+    workers, exactly as the in-RAM fan-out always has.
+    """
+    return list(range(0, n_rows, block_size))[chunk_index::n_chunks]
+
+
+def _content_key(
+    csr: sp.csr_array, threshold: float, block_size: int, n_chunks: int
+) -> str:
+    """Content address of a shard scratch dir: hash of exact inputs.
+
+    ``n_chunks`` is part of the key because shard artifacts are per
+    chunk of a specific partition — a run with a different worker
+    count must not adopt another partition's shards.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.asarray(csr.shape, dtype=np.int64).tobytes())
+    digest.update(np.float64(threshold).tobytes())
+    digest.update(np.int64(block_size).tobytes())
+    digest.update(np.int64(n_chunks).tobytes())
+    for arr in (csr.indptr, csr.indices, csr.data):
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()[:32]
+
+
+def _shard_scratch(key: str) -> tuple[Path, bool]:
+    """Pick the shard spill directory; returns ``(path, ephemeral)``.
+
+    With an ambient disk :class:`~repro.engine.cache.ArtifactCache`
+    the scratch lives under ``<cache>/shards/<content-key>`` and
+    survives the process, so a resumed run re-opens the spilled
+    inputs and any finished shard artifacts instead of recomputing
+    them. Without one, a tempdir is used and removed after the merge.
+    """
+    cache = current_cache()
+    if cache is not None and cache.directory is not None:
+        directory = cache.directory / "shards" / key
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory, False
+    return Path(tempfile.mkdtemp(prefix="repro-shards-")), True
+
+
+def _spill_store(csr: sp.csr_array, directory: Path) -> MmapCSR:
+    """Persist ``csr`` as an :class:`MmapCSR`, reusing a prior spill."""
+    try:
+        store = MmapCSR.open(directory)
+        if store.shape == tuple(csr.shape) and store.nnz == csr.nnz:
+            metric_inc("shard_spills_reused_total")
+            return store
+    except StorageError:
+        pass
+    return MmapCSR.from_scipy(csr, directory)
+
+
+def _save_shard(
+    path: Path,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    n_candidates: int,
+) -> None:
+    """Write one shard artifact atomically (tmp + rename), so a shard
+    file either exists complete or not at all — resumed runs can trust
+    any artifact they find."""
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    np.savez(
+        tmp,
+        rows=rows,
+        cols=cols,
+        vals=vals,
+        n_candidates=np.int64(n_candidates),
+    )
+    # np.savez appends .npz to paths without it.
+    os.replace(str(tmp) + ".npz", path)
+
+
+def _shard_worker(spec: dict) -> str:
+    """Process-pool task: open the stores named by the descriptor,
+    run this chunk's blocks, spill the accepted triplets.
+
+    The payload is a small dict of paths and ints (asserted < 1 KB in
+    the tests) — workers map the inputs from disk instead of receiving
+    pickled matrices, which is what lets the fan-out scale to graphs
+    that never fit in one process's RAM.
 
     ``chaos_exit`` is the chaos harness's kill-worker lever: the flag
     is decided in the parent (fault plans do not cross process
@@ -393,16 +570,42 @@ def _block_worker(
     segfault would — no exception, no return value, just a dead
     process the pool reports as broken.
     """
-    if chaos_exit:
+    if spec.get("chaos_exit"):
         os._exit(1)
-    out, n_candidates = _process_blocks(
-        csr, suffix, threshold, block_starts, block_size
+    csr_store = MmapCSR.open(spec["csr_path"])
+    suffix_store = MmapCSR.open(spec["suffix_path"])
+    threshold = spec["threshold"]
+    block_size = spec["block_size"]
+    n_rows = csr_store.shape[0]
+    starts = _chunk_starts(
+        n_rows, block_size, spec["chunk_index"], spec["n_chunks"]
     )
+    # Full wrap for the verification gathers: scipy keeps the mapped
+    # buffers as views, so only the touched rows' pages are resident.
+    csr = csr_store.to_scipy()
+    colcount = _suffix_column_counts(suffix_store.to_scipy())
+    out = _TripletBuffer()
+    n_candidates = 0
+    for start in starts:
+        end = min(start + block_size, n_rows)
+        block = csr_store.to_scipy(rows=(start, end))
+        if block.nnz == 0:
+            continue
+        # Same candidate rule (and the same bounded row spans) as
+        # _process_blocks. The suffix window is a zero-copy view of
+        # the store, so slicing costs O(rows), not O(nnz).
+        for left, right in _candidate_pairs(
+            block, suffix_store.to_scipy(rows=(0, end)), start, colcount
+        ):
+            n_candidates += left.size
+            _verify_pairs(csr, left, right, threshold, out)
     rows, cols, vals = out.arrays()
-    return rows.copy(), cols.copy(), vals.copy(), n_candidates
+    out_path = Path(spec["out_path"])
+    _save_shard(out_path, rows, cols, vals, n_candidates)
+    return str(out_path)
 
 
-def _fan_out_blocks(
+def _fan_out_shards(
     csr: sp.csr_array,
     suffix: sp.csr_array,
     threshold: float,
@@ -410,82 +613,105 @@ def _fan_out_blocks(
     block_size: int,
     n_jobs: int,
 ) -> tuple[_TripletBuffer, int] | None:
-    """Run blocks across a process pool; ``None`` if pooling failed.
+    """Run blocks across a process pool via memory-mapped shard
+    descriptors; ``None`` if pooling is unavailable (serial fallback).
 
-    Blocks only read shared inputs, so any partition is exact; chunks
-    interleave (``starts[w::workers]``) to balance the denser early
-    blocks (which face fewer earlier partners) across workers. The
-    merge is deterministic — each row lands in exactly one chunk, so
-    triplet sets are disjoint and COO assembly canonicalizes order.
+    The matrix and its suffix index are spilled once to
+    :class:`MmapCSR` stores (reused when a prior call already spilled
+    identical content under the ambient cache); each worker receives
+    only a descriptor — store paths plus ``(chunk_index, n_chunks)``
+    — and spills its accepted triplets to a per-shard ``.npz``
+    artifact the parent concatenates. Shard artifacts are atomic and
+    content-addressed, so an interrupted run resumes by re-opening
+    finished shards.
 
-    Crash isolation: chunks are submitted as individual futures, so a
-    worker that dies mid-chunk (OOM killer, segfault, injected
-    ``kill_worker`` fault) breaks the pool but loses only its own
-    chunks — those are re-executed *in-process* (blocks are pure
-    functions of shared read-only inputs, so re-execution is exact)
-    and the merge proceeds as if nothing happened, counted in
-    ``worker_crashes_total``.
+    Crash isolation is the worker pool's: a worker that dies
+    mid-chunk (OOM killer, segfault, injected ``kill_worker`` fault)
+    loses only its own chunks, which are re-executed *in-process* on
+    the in-RAM inputs (blocks are pure functions of shared read-only
+    inputs, so re-execution is exact), counted in
+    ``worker_crashes_total``. The merge is deterministic — each row
+    lands in exactly one chunk, so triplet sets are disjoint and COO
+    assembly canonicalizes order.
     """
+    n_rows = csr.shape[0]
     workers = min(n_jobs, len(block_starts))
-    chunks = [block_starts[w::workers] for w in range(workers)]
-    kill_flags = []
-    for _ in chunks:
-        flag = chaos("allpairs.worker")
-        kill_flags.append(
-            flag is not None and flag.kind == "kill_worker"
-        )
-    results: list[
-        tuple[np.ndarray, np.ndarray, np.ndarray, int] | None
-    ] = [None] * len(chunks)
-    lost: list[int] = []
+    scratch, ephemeral = _shard_scratch(
+        _content_key(csr, threshold, block_size, workers)
+    )
+    pool = current_pool()
+    owned_pool = pool is None
+    if pool is None:
+        pool = WorkerPool(workers)
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                index: pool.submit(
-                    _block_worker,
-                    csr,
-                    suffix,
-                    threshold,
-                    chunk,
-                    block_size,
-                    kill_flags[index],
-                )
-                for index, chunk in enumerate(chunks)
-            }
-            for index, future in futures.items():
-                try:
-                    results[index] = future.result()
-                except BrokenProcessPool:
-                    # A dead worker breaks the whole pool: every
-                    # unfinished chunk surfaces here and is retried
-                    # in-process below.
-                    lost.append(index)
-    except (OSError, PermissionError):  # sandboxed: cannot fork/spawn
-        return None
-    if lost:
-        metric_inc("worker_crashes_total")
-        warnings.warn(
-            ExecutionWarning(
-                f"a pool worker died; re-executing {len(lost)} "
-                "lost chunk(s) in-process",
-                code="worker_crash",
-            ),
-            stacklevel=2,
-        )
-        for index in lost:
+        csr_store = _spill_store(csr, scratch / "rows")
+        suffix_store = _spill_store(suffix, scratch / "suffix")
+        specs = []
+        for index in range(workers):
+            flag = chaos("allpairs.worker")
+            specs.append(
+                {
+                    "csr_path": str(csr_store.directory),
+                    "suffix_path": str(suffix_store.directory),
+                    "threshold": float(threshold),
+                    "block_size": int(block_size),
+                    "chunk_index": index,
+                    "n_chunks": workers,
+                    "out_path": str(scratch / f"shard-{index:04d}.npz"),
+                    "chaos_exit": (
+                        flag is not None and flag.kind == "kill_worker"
+                    ),
+                }
+            )
+
+        def _rerun_in_process(spec: dict) -> str:
+            starts = _chunk_starts(
+                n_rows, block_size, spec["chunk_index"], spec["n_chunks"]
+            )
             out, candidates = _process_blocks(
-                csr, suffix, threshold, chunks[index], block_size
+                csr, suffix, threshold, starts, block_size
             )
             rows, cols, vals = out.arrays()
-            results[index] = (rows, cols, vals, candidates)
-    merged = _TripletBuffer()
-    n_candidates = 0
-    for part in results:
-        assert part is not None  # every chunk resolved or re-ran
-        rows, cols, vals, candidates = part
-        merged.extend(rows, cols, vals)
-        n_candidates += candidates
-    return merged, n_candidates
+            _save_shard(
+                Path(spec["out_path"]), rows, cols, vals, candidates
+            )
+            return spec["out_path"]
+
+        todo = [
+            spec
+            for spec in specs
+            if not Path(spec["out_path"]).exists()
+        ]
+        if len(todo) < len(specs):
+            metric_inc(
+                "shard_results_reused_total", len(specs) - len(todo)
+            )
+        if todo:
+            results = pool.run(
+                _shard_worker, todo, fallback=_rerun_in_process
+            )
+            if results is None:
+                return None
+        merged = _TripletBuffer()
+        n_candidates = 0
+        bytes_spilled = 0
+        for spec in specs:
+            path = Path(spec["out_path"])
+            bytes_spilled += path.stat().st_size
+            with np.load(path) as shard:
+                merged.extend(
+                    shard["rows"], shard["cols"], shard["vals"]
+                )
+                n_candidates += int(shard["n_candidates"])
+        metric_set("shard_count", len(specs))
+        metric_inc("shard_bytes_spilled", bytes_spilled)
+        metric_set("peak_rss_bytes", peak_rss_bytes())
+        return merged, n_candidates
+    finally:
+        if owned_pool:
+            pool.close()
+        if ephemeral:
+            shutil.rmtree(scratch, ignore_errors=True)
 
 
 def _vectorized_engine(
@@ -505,7 +731,7 @@ def _vectorized_engine(
     block_starts = list(range(0, n, block_size))
     merged: tuple[_TripletBuffer, int] | None = None
     if n_jobs is not None and n_jobs > 1 and len(block_starts) > 1:
-        merged = _fan_out_blocks(
+        merged = _fan_out_shards(
             csr, suffix, threshold, block_starts, block_size, n_jobs
         )
     if merged is None:

@@ -39,6 +39,7 @@ __all__ = [
     "metric_inc",
     "metric_set",
     "metric_observe",
+    "peak_rss_bytes",
 ]
 
 
@@ -227,3 +228,25 @@ def metric_observe(name: str, value: float) -> None:
     reg = _METRICS.get()
     if reg is not None:
         reg.observe(name, value)
+
+
+def peak_rss_bytes() -> int:
+    """This process's lifetime peak resident set size, in bytes.
+
+    A monotone high-water mark (``getrusage``'s ``ru_maxrss``), not an
+    instantaneous reading — the number the out-of-core paths report as
+    the ``peak_rss_bytes`` gauge and the scale bench asserts its
+    memory ceiling against. Returns 0 on platforms without
+    :mod:`resource` (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    import sys
+
+    if sys.platform == "darwin":  # pragma: no cover
+        return int(rss)
+    return int(rss) * 1024

@@ -13,6 +13,11 @@ pipeline stage a first-class concern. This package provides:
   symmetrize + cluster sweep over synthetic power-law graphs across
   sizes and backends that emits ``BENCH_allpairs.json`` with
   per-backend timings and regression thresholds.
+- :mod:`~repro.perf.scale_bench` — the ``repro bench --scale``
+  harness: mmap-backed 100k/1M-node graphs through the out-of-core
+  sharded symmetrize → prune path, emitting ``BENCH_scale.json``
+  with timing points, peak-RSS high-water marks and a
+  shard-vs-monolithic identity check.
 
 Instrumentation is zero-configuration and near-zero overhead: stages
 record into the *ambient* recorder installed by

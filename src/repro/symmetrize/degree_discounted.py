@@ -190,7 +190,12 @@ class DegreeDiscountedSymmetrization(Symmetrization):
         Requires numeric ``alpha``/``beta`` (the ``"log"`` discount
         has no symmetric square-root factorization) and a positive
         threshold. ``backend``/``block_size``/``n_jobs`` are forwarded
-        to :func:`~repro.linalg.allpairs.thresholded_gram_matrix`.
+        to :func:`~repro.linalg.allpairs.thresholded_gram_matrix`;
+        with ``n_jobs > 1`` each factor's candidate search runs
+        through the out-of-core row-block shard fan-out (factors are
+        spilled to memory-mapped CSR stores and workers receive shard
+        descriptors, not matrices), so peak RSS stays bounded by the
+        block size rather than the factor size.
         Output matches ``apply(graph, threshold=threshold)``
         edge-for-edge: shared entries agree to ~1 ULP, and both the
         candidate search and the final filter use a relative tolerance
@@ -203,7 +208,11 @@ class DegreeDiscountedSymmetrization(Symmetrization):
             DEFAULT_BLOCK_SIZE,
             thresholded_gram_matrix,
         )
-        from repro.obs.metrics import metric_inc, metric_set
+        from repro.obs.metrics import (
+            metric_inc,
+            metric_set,
+            peak_rss_bytes,
+        )
         from repro.obs.trace import span
         from repro.perf.stopwatch import add_counters
 
@@ -283,6 +292,7 @@ class DegreeDiscountedSymmetrization(Symmetrization):
             total = (total + total.T).tocsr()
             root.set(nnz_out=total.nnz)
             metric_set("symmetrize_nnz_out", total.nnz)
+            metric_set("peak_rss_bytes", peak_rss_bytes())
         return UndirectedGraph(
             total, node_names=graph.node_names, validate=False
         )

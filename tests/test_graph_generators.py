@@ -11,6 +11,7 @@ from repro.graph.generators import (
     figure1_graph,
     kronecker_digraph,
     power_law_digraph,
+    power_law_edge_chunks,
     reciprocate_edges,
     sample_power_law_degrees,
     shared_neighbor_clusters,
@@ -92,6 +93,45 @@ class TestPowerLawDigraph:
     def test_rejects_tiny_n(self, rng):
         with pytest.raises(DatasetError):
             power_law_digraph(1, rng)
+
+
+class TestPowerLawEdgeChunks:
+    @staticmethod
+    def _in_degrees(n, rng, **kwargs):
+        indeg = np.zeros(n, dtype=np.int64)
+        total = 0
+        for _, cols, vals in power_law_edge_chunks(n, rng, **kwargs):
+            np.add.at(indeg, cols, 1)
+            total += vals.size
+        return indeg, total
+
+    def test_chunks_bounded(self, rng):
+        for rows, cols, vals in power_law_edge_chunks(
+            1000, rng, chunk_edges=512
+        ):
+            assert rows.size <= 512
+            assert rows.size == cols.size == vals.size
+            assert (rows != cols).all()
+
+    def test_in_degree_tail_capped(self, rng):
+        # d_max ceilings the *expected* in-degree per target; the
+        # realized max is binomial around it, so allow 2x slack.
+        # Without the cap the top hub absorbs a constant fraction of
+        # all edges and blows far past this.
+        n, d_max = 5000, 30
+        indeg, total = self._in_degrees(n, rng, d_max=d_max)
+        assert indeg.max() <= 2 * d_max
+        assert total > n  # still a real graph
+
+    def test_in_degree_skew_survives_cap(self, rng):
+        indeg, _ = self._in_degrees(4000, rng, gamma_in=2.0)
+        assert indeg.max() > 5 * np.median(indeg[indeg > 0])
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(DatasetError):
+            list(power_law_edge_chunks(1, rng))
+        with pytest.raises(DatasetError):
+            list(power_law_edge_chunks(100, rng, chunk_edges=0))
 
 
 class TestSharedNeighborClusters:

@@ -213,3 +213,136 @@ class TestJson:
         path.write_text('{"directed": true}')
         with pytest.raises(GraphFormatError, match="malformed"):
             read_json_graph(path)
+
+
+class TestStreamingEdgeList:
+    """The ``streaming=True`` path: same graphs, O(chunk) ingest RSS."""
+
+    @staticmethod
+    def _write_edges(path, edges):
+        with path.open("w") as f:
+            f.write("# streamed\n")
+            for src, dst, w in edges:
+                f.write(f"{src} {dst} {w:g}\n")
+
+    def test_streaming_matches_in_ram_path(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        edges = [
+            (int(s), int(d), float(w))
+            for s, d, w in zip(
+                rng.integers(0, 200, 2000),
+                rng.integers(0, 200, 2000),
+                rng.random(2000) + 0.5,
+            )
+        ]
+        path = tmp_path / "g.txt"
+        self._write_edges(path, edges)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ValidationWarning)
+            in_ram = read_edge_list(path, n_nodes=200)
+            streamed = read_edge_list(
+                path, n_nodes=200, streaming=True, chunk_edges=64
+            )
+        a = in_ram.adjacency.tocsr()
+        b = streamed.adjacency.tocsr()
+        assert a.shape == b.shape
+        assert (a != b).nnz == 0 or abs(a - b).max() < 1e-12
+
+    def test_streaming_graph_is_store_backed(self, tmp_path):
+        path = tmp_path / "g.txt"
+        self._write_edges(path, [(0, 1, 1.0), (1, 2, 1.0)])
+        graph = read_edge_list(path, streaming=True)
+        assert graph.mmap_store is not None
+        assert graph.mmap_store.directory == tmp_path / "g.txt.mmcsr"
+        assert graph.n_nodes == 3
+
+    def test_streaming_custom_store_dir(self, tmp_path):
+        path = tmp_path / "g.txt"
+        self._write_edges(path, [(0, 1, 1.0)])
+        graph = read_edge_list(
+            path, streaming=True, store_dir=tmp_path / "elsewhere"
+        )
+        assert graph.mmap_store.directory == tmp_path / "elsewhere"
+
+    def test_streaming_duplicate_warning(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        self._write_edges(path, [(0, 1, 1.0), (0, 1, 2.0), (1, 2, 1.0)])
+        with pytest.warns(ValidationWarning, match="duplicate"):
+            graph = read_edge_list(path, streaming=True)
+        assert graph.edge_weight(0, 1) == 3.0
+
+    def test_streaming_rejects_undirected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        self._write_edges(path, [(0, 1, 1.0)])
+        with pytest.raises(GraphFormatError, match="DirectedGraph"):
+            read_edge_list(path, directed=False, streaming=True)
+
+    def test_streaming_rejects_bad_chunk_size(self, tmp_path):
+        path = tmp_path / "g.txt"
+        self._write_edges(path, [(0, 1, 1.0)])
+        with pytest.raises(GraphFormatError, match="chunk_edges"):
+            read_edge_list(path, streaming=True, chunk_edges=0)
+
+    def test_streaming_validates_lines_identically(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n2 nope\n")
+        with pytest.raises(GraphFormatError, match="bad.txt:2"):
+            read_edge_list(path, streaming=True)
+
+    def test_streaming_empty_without_n_nodes(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(GraphFormatError, match="no edges"):
+            read_edge_list(path, streaming=True)
+
+    def test_ingest_rss_is_chunk_bound(self, tmp_path):
+        """Peak ingest RSS must track the chunk size, not the edge
+        count: a file with ~4x the edges may not grow the subprocess
+        high-water mark by more than ~1.6x (slack for the interpreter
+        baseline and O(n_nodes) bookkeeping)."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        resource = pytest.importorskip("resource")
+        del resource
+        n_nodes = 30_000
+        rss = {}
+        for label, n_edges in (("small", 60_000), ("large", 240_000)):
+            path = tmp_path / f"{label}.txt"
+            import numpy as np
+
+            rng = np.random.default_rng(3)
+            with path.open("w") as f:
+                for s, d in zip(
+                    rng.integers(0, n_nodes, n_edges),
+                    rng.integers(0, n_nodes, n_edges),
+                ):
+                    f.write(f"{s} {d}\n")
+            script = (
+                "import resource, sys, warnings\n"
+                "from repro.graph.io import read_edge_list\n"
+                "warnings.simplefilter('ignore')\n"
+                f"g = read_edge_list({str(path)!r}, "
+                f"n_nodes={n_nodes}, streaming=True, "
+                "chunk_edges=8192)\n"
+                "print(resource.getrusage("
+                "resource.RUSAGE_SELF).ru_maxrss)\n"
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                cwd=Path(__file__).resolve().parents[1],
+                env=dict(os.environ, PYTHONPATH="src"),
+                capture_output=True,
+                text=True,
+            )
+            assert proc.returncode == 0, proc.stderr
+            rss[label] = int(proc.stdout.strip())
+        growth = rss["large"] / rss["small"]
+        assert growth < 1.6, (
+            f"4x edges grew streaming-ingest RSS {growth:.2f}x "
+            f"({rss['small']} -> {rss['large']} KB)"
+        )

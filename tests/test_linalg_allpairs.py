@@ -224,6 +224,65 @@ class TestThresholdedGram:
         _assert_same_pattern(vectorized, oracle)
 
 
+class TestCandidateBudget:
+    """The per-span candidate cap must not change any output byte."""
+
+    @staticmethod
+    def _hub_matrix(rng):
+        # A few dense "hub" columns shared by most rows make the
+        # candidate count per block explode, forcing span splits.
+        base = sp.random_array(
+            (300, 40), density=0.05, rng=rng, format="csr"
+        )
+        hubs = sp.random_array(
+            (300, 3), density=0.9, rng=rng, format="csr"
+        )
+        rows = sp.hstack([base, hubs]).tocsr()
+        rows.sum_duplicates()
+        rows.sort_indices()
+        rows.data = np.abs(rows.data) + 0.01
+        return rows
+
+    @pytest.mark.parametrize("n_jobs", [None, 3])
+    def test_tiny_cap_is_byte_identical(self, rng, monkeypatch, n_jobs):
+        import repro.linalg.allpairs as allpairs
+
+        rows = self._hub_matrix(rng)
+        reference = thresholded_gram_matrix(
+            rows, 0.2, backend="vectorized", block_size=64
+        )
+        monkeypatch.setattr(allpairs, "_MAX_BLOCK_CANDIDATES", 64)
+        capped = thresholded_gram_matrix(
+            rows, 0.2, backend="vectorized", block_size=64, n_jobs=n_jobs
+        )
+        assert capped.indptr.tobytes() == reference.indptr.tobytes()
+        assert capped.indices.tobytes() == reference.indices.tobytes()
+        assert capped.data.tobytes() == reference.data.tobytes()
+
+    def test_row_spans_respect_budget_and_progress(self, rng):
+        from repro.linalg.allpairs import (
+            _row_spans,
+            _suffix_column_counts,
+        )
+
+        rows = self._hub_matrix(rng)
+        colcount = _suffix_column_counts(rows)
+        spans = _row_spans(rows, colcount, cap=500)
+        # Spans partition [0, n_rows) in order.
+        assert spans[0][0] == 0
+        assert spans[-1][1] == rows.shape[0]
+        for (_, b_prev), (a_next, _) in zip(spans, spans[1:]):
+            assert b_prev == a_next
+        # Each multi-row span stays under the estimate budget.
+        entry_cum = np.concatenate(
+            ([0], np.cumsum(colcount[rows.indices], dtype=np.int64))
+        )
+        row_cum = entry_cum[rows.indptr]
+        for a, b in spans:
+            if b - a > 1:
+                assert row_cum[b] - row_cum[a] <= 500
+
+
 class TestApplyPruned:
     def test_matches_apply(self, rng):
         g = power_law_digraph(120, rng)
@@ -306,3 +365,44 @@ class TestApplyPruned:
         g = power_law_digraph(60, rng)
         out = DegreeDiscountedSymmetrization().apply_pruned(g, 0.05)
         assert out.adjacency.diagonal().sum() == 0.0
+
+
+class TestShardDescriptors:
+    """The process fan-out must hand workers shard *descriptors*
+    (store paths plus a chunk index), never pickled matrices."""
+
+    class _CapturingPool:
+        """Duck-typed WorkerPool that records each payload's pickled
+        size and runs the worker function in-process."""
+
+        def __init__(self):
+            self.payload_bytes = []
+
+        def run(self, fn, payloads, fallback=None):
+            import pickle
+
+            results = []
+            for payload in payloads:
+                self.payload_bytes.append(len(pickle.dumps(payload)))
+                results.append(fn(payload))
+            return results
+
+        def close(self):
+            pass
+
+    def test_worker_payloads_under_1kb(self, rng):
+        from repro.engine.pool import worker_pool
+
+        g = power_law_digraph(400, rng)
+        factor = DegreeDiscountedSymmetrization().pruning_factors(g)[0]
+        serial = thresholded_gram_matrix(
+            factor, 0.2, block_size=32, n_jobs=None
+        )
+        pool = self._CapturingPool()
+        with worker_pool(4, pool=pool):
+            sharded = thresholded_gram_matrix(
+                factor, 0.2, block_size=32, n_jobs=4
+            )
+        assert pool.payload_bytes, "fan-out never reached the pool"
+        assert max(pool.payload_bytes) < 1024
+        _assert_same_pattern(serial, sharded)
