@@ -9,6 +9,7 @@
 #   make bench-smoke   repro bench --smoke + benchmark smoke subset
 #   make scale-smoke   out-of-core 50k-node bench under wall/mem budget
 #   make cache-smoke   cache identity + SIGKILL/resume smoke
+#   make serve-smoke   service daemon boot/dedup/drain smoke
 #   make coverage      pytest-cov gate (falls back to the stdlib tool)
 #   make ci            everything the PR gate runs
 #
@@ -18,7 +19,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint format-check fault-smoke chaos-smoke bench-smoke \
-	scale-smoke cache-smoke coverage ci clean
+	scale-smoke cache-smoke serve-smoke coverage ci clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +49,9 @@ scale-smoke:
 cache-smoke:
 	$(PYTHON) tools/cache_smoke.py
 
+serve-smoke:
+	$(PYTHON) tools/serve_smoke.py --deadline 60
+
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTHON) -m pytest -q --cov=repro --cov-report=term; \
@@ -56,7 +60,8 @@ coverage:
 		$(PYTHON) tools/measure_coverage.py; \
 	fi
 
-ci: lint test fault-smoke chaos-smoke bench-smoke scale-smoke cache-smoke
+ci: lint test fault-smoke chaos-smoke bench-smoke scale-smoke cache-smoke \
+	serve-smoke
 
 clean:
 	rm -rf .pytest_cache .ruff_cache coverage.xml .coverage \

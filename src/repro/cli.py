@@ -36,6 +36,16 @@ run logs and ``trace`` re-exports a stored manifest's span tree::
     python -m repro runs     diff runs.jsonl -a 0 -b 1
     python -m repro trace    runs.jsonl -o trace.json
 
+Clustering as a service (see ``docs/service.md``): ``serve`` runs the
+long-lived daemon holding registered graphs and a shared artifact
+cache; ``submit`` posts a job (deduplicated against identical
+requests) and waits for the result; ``jobs`` lists jobs or streams one
+job's journal events::
+
+    python -m repro serve  --port 8752 --graph cora=graph.txt
+    python -m repro submit cluster cora -k 20 --port 8752
+    python -m repro jobs   --port 8752
+
 Graphs are whitespace edge lists (``src dst [weight]``); labels files
 are one integer per line (``-1`` = unlabeled in truth files).
 """
@@ -451,6 +461,129 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-o", "--output", default="trace.json",
         help="where to write the Chrome trace JSON",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help=(
+            "run the clustering service daemon (docs/service.md)"
+        ),
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1", help="listen address"
+    )
+    p.add_argument(
+        "--port", type=int, default=8752,
+        help="listen port (0 = ephemeral; default 8752)",
+    )
+    p.add_argument(
+        "--data-dir", default="service-data",
+        help="state root for job journals and manifests",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="max concurrently executing jobs (default 2)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="disk tier for the shared artifact cache "
+        "(default: memory only)",
+    )
+    p.add_argument(
+        "--job-wall-s", type=float,
+        help="per-job wall-clock budget, seconds",
+    )
+    p.add_argument(
+        "--job-mem-mb", type=float,
+        help="per-job memory budget, megabytes",
+    )
+    p.add_argument(
+        "--client-wall-s", type=float,
+        help=(
+            "cumulative per-client wall-clock allowance, seconds "
+            "(default: unlimited)"
+        ),
+    )
+    p.add_argument(
+        "--graph", action="append", default=[],
+        metavar="NAME=FILE",
+        help=(
+            "pre-register an edge-list file under NAME "
+            "(repeatable)"
+        ),
+    )
+
+    p = sub.add_parser(
+        "submit",
+        help="submit one job to a running service daemon",
+    )
+    p.add_argument(
+        "kind", choices=("symmetrize", "cluster", "sweep"),
+        help="job kind",
+    )
+    p.add_argument("graph", help="registered graph name")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8752)
+    p.add_argument(
+        "--client", default="cli",
+        help="tenant identity for budget accounting",
+    )
+    p.add_argument(
+        "-m", "--method", default="degree_discounted",
+        help="symmetrization method",
+    )
+    p.add_argument(
+        "-c", "--clusterer", default="mlrmcl",
+        help="clustering algorithm",
+    )
+    p.add_argument(
+        "-t", "--threshold", type=float, default=0.0,
+        help="prune threshold",
+    )
+    p.add_argument(
+        "-k", "--n-clusters", type=int,
+        help="cluster count (cluster jobs)",
+    )
+    p.add_argument(
+        "--counts", type=int, nargs="+",
+        help="cluster counts (sweep jobs)",
+    )
+    p.add_argument(
+        "--mode", choices=("strict", "lenient"), default="strict",
+    )
+    p.add_argument(
+        "--upload", metavar="FILE",
+        help=(
+            "register this edge-list file under the graph name "
+            "first (idempotent)"
+        ),
+    )
+    p.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without waiting",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="seconds to wait for the result (default 600)",
+    )
+    p.add_argument(
+        "-o", "--output",
+        help="write cluster labels to this file (cluster jobs)",
+    )
+
+    p = sub.add_parser(
+        "jobs",
+        help="list jobs (or stream one job's events) on a daemon",
+    )
+    p.add_argument(
+        "job_id", nargs="?",
+        help="show this job instead of listing all",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8752)
+    p.add_argument(
+        "--events", action="store_true",
+        help="stream the job's journal as NDJSON (needs job_id)",
     )
 
     p = sub.add_parser(
@@ -1021,6 +1154,136 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine import ArtifactCache, Budget
+    from repro.service import ServiceServer
+    from repro.service.server import serve
+
+    job_budget = None
+    if args.job_wall_s is not None or args.job_mem_mb is not None:
+        job_budget = Budget(
+            wall_s=args.job_wall_s,
+            mem_bytes=(
+                int(args.job_mem_mb * 1024 * 1024)
+                if args.job_mem_mb is not None
+                else None
+            ),
+        )
+    cache = ArtifactCache(directory=args.cache_dir)
+    server = ServiceServer(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        cache=cache,
+        max_workers=args.workers,
+        job_budget=job_budget,
+        client_wall_s=args.client_wall_s,
+    )
+    for entry in args.graph:
+        name, _, path = entry.partition("=")
+        if not name or not path:
+            raise ReproError(
+                f"--graph expects NAME=FILE, got {entry!r}"
+            )
+        graph = read_edge_list(path, directed=True)
+        server.manager.register_graph(name, graph)
+        print(f"registered {name}: {graph.n_nodes} nodes, "
+              f"{graph.n_edges} edges")
+    clean = serve(server)
+    return 0 if clean else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(
+        args.host, args.port, client=args.client,
+        timeout=max(args.timeout, 60.0),
+    )
+    if args.upload:
+        graph = read_edge_list(args.upload, directed=True)
+        registered = client.register_graph(args.graph, graph)
+        print(
+            f"graph {args.graph}: sha {registered['sha']}, "
+            f"{registered['n_nodes']} nodes"
+        )
+    spec: dict[str, object] = {
+        "kind": args.kind,
+        "graph": args.graph,
+        "method": args.method,
+        "clusterer": args.clusterer,
+        "threshold": args.threshold,
+        "mode": args.mode,
+    }
+    if args.n_clusters is not None:
+        spec["n_clusters"] = args.n_clusters
+    if args.counts:
+        spec["counts"] = args.counts
+    submitted = client.submit(**spec)
+    dedup = " (deduplicated)" if submitted["deduped"] else ""
+    print(f"job {submitted['job_id']}{dedup}")
+    if args.no_wait:
+        return 0
+    result = client.result(submitted["job_id"], timeout=args.timeout)
+    if args.kind == "cluster":
+        print(
+            f"clusters: {result['n_clusters']}  "
+            f"labels sha {result['labels_sha256']}  "
+            f"{result['cluster_seconds']:.3f}s"
+        )
+        if args.output:
+            labels = np.asarray(result["labels"], dtype=np.int64)
+            _write_labels(labels, args.output)
+            print(f"labels -> {args.output}")
+    elif args.kind == "symmetrize":
+        print(
+            f"symmetrized: {result['n_edges']} edges  "
+            f"sha {result['result_sha']}"
+        )
+    else:
+        for point in result["points"]:
+            marker = "cached" if point["cache_hit"] else "computed"
+            avg_f = (
+                f"{point['average_f']:.2f}"
+                if point["average_f"] is not None
+                else "-"
+            )
+            print(
+                f"k={point['parameter']:>6}  "
+                f"clusters={point['n_clusters']:>6}  "
+                f"avg-f={avg_f:>7}  {marker}"
+            )
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    if args.events:
+        if not args.job_id:
+            raise ReproError("--events needs a job id")
+        for record in client.events(args.job_id):
+            print(_json.dumps(record, sort_keys=True))
+        return 0
+    if args.job_id:
+        print(
+            _json.dumps(
+                client.job(args.job_id), indent=2, sort_keys=True
+            )
+        )
+        return 0
+    for job in client.jobs():
+        clients = ",".join(job["clients"])
+        print(
+            f"{job['job_id']}  {job['state']:>8}  "
+            f"{job['kind']:>10}  {job['graph']:<12} {clients}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "stats": _cmd_stats,
     "symmetrize": _cmd_symmetrize,
@@ -1034,6 +1297,9 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "runs": _cmd_runs,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
     "experiment": _cmd_experiment,
 }
 

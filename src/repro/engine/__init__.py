@@ -73,12 +73,14 @@ from repro.engine.chaos import (
 from repro.engine.journal import (
     JOURNAL_SCHEMA,
     JournalReplay,
+    JournalTailer,
     RunJournal,
     current_journal,
     point_key,
     read_journal,
     run_journal,
 )
+from repro.engine.ambient import AmbientState, ambient_scope
 from repro.engine.plan import Plan
 from repro.engine.policy import Budget, BudgetMeter, RetryPolicy
 from repro.engine.pool import WorkerPool, current_pool, worker_pool
@@ -103,6 +105,9 @@ __all__ = [
     "config_hash",
     "canonical_json",
     "default_cache_dir",
+    # ambient scope
+    "AmbientState",
+    "ambient_scope",
     # stage graph
     "Stage",
     "StageContext",
@@ -134,6 +139,7 @@ __all__ = [
     "JOURNAL_SCHEMA",
     "RunJournal",
     "JournalReplay",
+    "JournalTailer",
     "run_journal",
     "current_journal",
     "read_journal",

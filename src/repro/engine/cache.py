@@ -46,6 +46,7 @@ import hashlib
 import json
 import os
 import shutil
+import threading
 import time
 import warnings
 from collections import OrderedDict
@@ -205,6 +206,12 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.keys_seen: list[str] = []
+        # One cache instance is shared by every worker thread of the
+        # service daemon; all tier mutation (LRU order, byte
+        # accounting, hit/miss counters) happens under this lock.
+        # Re-entrant because get() promotes disk hits via
+        # _memory_put() while already holding it.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Core get / put
@@ -215,18 +222,20 @@ class ArtifactCache:
         Memory-tier hits move the entry to most-recently-used; disk
         hits are promoted into the memory tier.
         """
-        artifact = self._memory.get(key)
-        if artifact is None and self.directory is not None:
-            artifact = self._disk_get(key)
-            if artifact is not None:
-                self._memory_put(key, artifact)
-        if artifact is None:
-            self.misses += 1
-            metric_inc("cache_misses_total")
-            return None
-        self._memory.move_to_end(key)
-        self.hits += 1
-        self._note_key(key)
+        with self._lock:
+            artifact = self._memory.get(key)
+            if artifact is None and self.directory is not None:
+                artifact = self._disk_get(key)
+                if artifact is not None:
+                    self._memory_put(key, artifact)
+            if artifact is None:
+                self.misses += 1
+                metric_inc("cache_misses_total")
+                return None
+            if key in self._memory:
+                self._memory.move_to_end(key)
+            self.hits += 1
+            self._note_key(key)
         metric_inc("cache_hits_total")
         return artifact
 
@@ -242,43 +251,51 @@ class ArtifactCache:
                 "ArtifactCache stores UndirectedGraph artifacts, got "
                 f"{type(artifact).__name__}"
             )
-        self._memory_put(key, artifact)
-        self._note_key(key)
-        if self.directory is not None:
-            self._disk_put(key, artifact, meta or {})
+        with self._lock:
+            self._memory_put(key, artifact)
+            self._note_key(key)
+            if self.directory is not None:
+                self._disk_put(key, artifact, meta or {})
 
     def _note_key(self, key: str) -> None:
-        if key not in self.keys_seen:
-            self.keys_seen.append(key)
+        with self._lock:
+            if key not in self.keys_seen:
+                self.keys_seen.append(key)
 
     # ------------------------------------------------------------------
     # Memory tier
     # ------------------------------------------------------------------
     def _memory_put(self, key: str, artifact: UndirectedGraph) -> None:
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            return
-        self._memory[key] = artifact
-        self._memory_bytes += _graph_nbytes(artifact)
-        if self.max_bytes is not None:
-            while (
-                self._memory_bytes > self.max_bytes
-                and len(self._memory) > 1
-            ):
-                _, evicted = self._memory.popitem(last=False)
-                self._memory_bytes -= _graph_nbytes(evicted)
-        metric_set("cache_bytes", self._memory_bytes)
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                return
+            self._memory[key] = artifact
+            self._memory_bytes += _graph_nbytes(artifact)
+            if self.max_bytes is not None:
+                while (
+                    self._memory_bytes > self.max_bytes
+                    and len(self._memory) > 1
+                ):
+                    _, evicted = self._memory.popitem(last=False)
+                    self._memory_bytes -= _graph_nbytes(evicted)
+            metric_set("cache_bytes", self._memory_bytes)
 
     @property
     def memory_bytes(self) -> int:
         """Resident CSR payload of the memory tier, in bytes."""
-        return self._memory_bytes
+        with self._lock:
+            return self._memory_bytes
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._memory or (
+        with self._lock:
+            if key in self._memory:
+                return True
+        return (
             self.directory is not None
             and (self._entry_dir(key) / _ARTIFACT_FILE).exists()
         )
@@ -410,24 +427,28 @@ class ArtifactCache:
     def stats(self) -> dict[str, Any]:
         """Hit/miss counters plus per-tier sizes."""
         disk = self.entries()
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "memory_entries": len(self._memory),
-            "memory_bytes": self._memory_bytes,
-            "disk_entries": len(disk),
-            "disk_bytes": int(sum(r.get("nbytes", 0) for r in disk)),
-            "directory": (
-                str(self.directory) if self.directory else None
-            ),
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "memory_entries": len(self._memory),
+                "memory_bytes": self._memory_bytes,
+                "disk_entries": len(disk),
+                "disk_bytes": int(
+                    sum(r.get("nbytes", 0) for r in disk)
+                ),
+                "directory": (
+                    str(self.directory) if self.directory else None
+                ),
+            }
 
     def clear(self, disk: bool = True) -> int:
         """Drop every entry; returns the number of entries removed."""
-        removed = len(self._memory)
-        self._memory.clear()
-        self._memory_bytes = 0
-        metric_set("cache_bytes", 0)
+        with self._lock:
+            removed = len(self._memory)
+            self._memory.clear()
+            self._memory_bytes = 0
+            metric_set("cache_bytes", 0)
         if disk and self.directory is not None and self.directory.exists():
             removed += len(self.entries())
             shutil.rmtree(self.directory)

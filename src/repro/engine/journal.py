@@ -46,6 +46,7 @@ import contextlib
 import contextvars
 import json
 import os
+import threading
 import time
 import warnings
 from pathlib import Path
@@ -60,6 +61,7 @@ __all__ = [
     "JOURNAL_SCHEMA",
     "RunJournal",
     "JournalReplay",
+    "JournalTailer",
     "read_journal",
     "run_journal",
     "current_journal",
@@ -118,6 +120,10 @@ class RunJournal:
         self.started = False
         self.records_written = 0
         self._fd: int | None = None
+        # The service daemon shares one journal between its event
+        # loop and the worker thread executing the job; serialize fd
+        # creation and the write/fsync/counter sequence.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Low-level atomic append
@@ -150,10 +156,12 @@ class RunJournal:
         }
         line = canonical_json(payload) + "\n"
         try:
-            chaos("journal.append")
-            fd = self._ensure_fd()
-            os.write(fd, line.encode())
-            os.fsync(fd)
+            with self._lock:
+                chaos("journal.append")
+                fd = self._ensure_fd()
+                os.write(fd, line.encode())
+                os.fsync(fd)
+                self.records_written += 1
         except OSError as exc:
             self.disabled = True
             self._close()
@@ -167,14 +175,14 @@ class RunJournal:
             )
             metric_inc("journal_write_failures_total")
             return False
-        self.records_written += 1
         return True
 
     def _close(self) -> None:
-        if self._fd is not None:
-            with contextlib.suppress(OSError):
-                os.close(self._fd)
-            self._fd = None
+        with self._lock:
+            if self._fd is not None:
+                with contextlib.suppress(OSError):
+                    os.close(self._fd)
+                self._fd = None
 
     def close(self) -> None:
         """Release the file descriptor (appends reopen lazily)."""
@@ -354,6 +362,89 @@ def read_journal(path: str | Path) -> list[dict[str, Any]]:
             )
         records.append(record)
     return records
+
+
+class JournalTailer:
+    """Incremental reader of a journal another process is appending to.
+
+    The service daemon's ``GET /jobs/<id>/events`` endpoint streams a
+    running job's progress by tailing its journal. Unlike
+    :func:`read_journal` — which reads a *finished* file and treats a
+    partial trailing line as a crash signature — a tailer must expect
+    to race the writer: a record can be half-written when we poll
+    (``os.write`` is atomic on the writer side, but the reader can
+    still observe a short read of the file's tail growing under it),
+    and the file may not even exist yet. Both are transient, so the
+    tailer retries them instead of declaring truncation:
+
+    - bytes after the last newline are left unconsumed; the offset
+      only advances past complete lines, so the next :meth:`poll`
+      re-reads the (by then completed) record;
+    - a missing file polls as ``[]`` until the writer's first append
+      creates it.
+
+    A complete line that fails to parse is real corruption and
+    raises, exactly like :func:`read_journal`.
+    """
+
+    def __init__(
+        self, path: str | Path, run_id: str | None = None
+    ) -> None:
+        self.path = Path(path)
+        self.run_id = run_id
+        self.offset = 0
+        self.records_read = 0
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Every complete record appended since the last poll."""
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(self.offset)
+                chunk = handle.read()
+        except FileNotFoundError:
+            return []
+        if not chunk:
+            return []
+        # Only consume up to the last newline: whatever follows is a
+        # record the writer has not finished appending yet. Next poll
+        # starts from the same offset and sees the completed line.
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            return []
+        complete, self.offset = chunk[: cut + 1], (
+            self.offset + cut + 1
+        )
+        records: list[dict[str, Any]] = []
+        for raw in complete.split(b"\n"):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ReproError(
+                    f"{self.path}: malformed journal record while "
+                    f"tailing: {exc}"
+                ) from exc
+            if record.get("schema") != JOURNAL_SCHEMA:
+                raise ReproError(
+                    f"{self.path}: unsupported journal schema "
+                    f"{record.get('schema')!r} while tailing; "
+                    f"expected {JOURNAL_SCHEMA}"
+                )
+            if (
+                self.run_id is not None
+                and record.get("run_id") != self.run_id
+            ):
+                continue
+            records.append(record)
+            self.records_read += 1
+        return records
+
+    def __repr__(self) -> str:
+        return (
+            f"JournalTailer({str(self.path)!r}, "
+            f"offset={self.offset}, read={self.records_read})"
+        )
 
 
 class JournalReplay:

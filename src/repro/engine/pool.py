@@ -28,9 +28,12 @@ The pool carries the crash-recovery contract the kernels rely on:
 
 from __future__ import annotations
 
+import atexit
 import contextlib
 import contextvars
+import time
 import warnings
+import weakref
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -40,6 +43,19 @@ from repro.exceptions import ExecutionWarning
 from repro.obs.metrics import metric_inc
 
 __all__ = ["WorkerPool", "worker_pool", "current_pool"]
+
+#: Every pool that ever created an executor, so the atexit guard can
+#: close stragglers a long-lived process (the service daemon) failed
+#: to close explicitly. Weak references: a garbage-collected pool has
+#: already shut its executor down via ProcessPoolExecutor's finalizer.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+_ATEXIT_REGISTERED = False
+
+
+def _close_live_pools() -> None:
+    for pool in list(_LIVE_POOLS):
+        with contextlib.suppress(Exception):
+            pool.close(timeout=2.0)
 
 
 class WorkerPool:
@@ -74,16 +90,54 @@ class WorkerPool:
                 # later run() calls short-circuit to serial.
                 self._unavailable = True
                 return None
+            global _ATEXIT_REGISTERED
+            _LIVE_POOLS.add(self)
+            if not _ATEXIT_REGISTERED:
+                atexit.register(_close_live_pools)
+                _ATEXIT_REGISTERED = True
         return self._executor
 
     def _discard_executor(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        # Crash path (broken pool): the workers are already dead or
+        # dying, so a short drain window is enough to reap them.
+        self._shutdown(timeout=1.0)
 
-    def close(self) -> None:
-        """Shut the underlying executor down (idempotent)."""
-        self._discard_executor()
+    def _shutdown(self, timeout: float) -> None:
+        executor = self._executor
+        if executor is None:
+            return
+        self._executor = None
+        # Grab the worker processes before shutdown() forgets them:
+        # shutdown(wait=False) only signals the workers, and a worker
+        # mid-task keeps running past interpreter exit unless someone
+        # reaps it. Drain gracefully within the timeout, then kill.
+        processes = list(
+            getattr(executor, "_processes", {}).values()
+        )
+        executor.shutdown(wait=False, cancel_futures=True)
+        deadline = time.monotonic() + max(0.0, timeout)
+        for process in processes:
+            remaining = deadline - time.monotonic()
+            if remaining > 0 and process.is_alive():
+                with contextlib.suppress(Exception):
+                    process.join(remaining)
+        leaked = [p for p in processes if p.is_alive()]
+        for process in leaked:
+            with contextlib.suppress(Exception):
+                process.kill()
+                process.join(1.0)
+        if leaked:
+            metric_inc("worker_pool_kills_total", len(leaked))
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Shut the executor down (idempotent).
+
+        Waits up to ``timeout`` seconds for the worker processes to
+        drain gracefully, then kills whatever is still alive — a
+        long-lived server must never leak live workers past exit.
+        """
+        self._shutdown(timeout=timeout)
+        _LIVE_POOLS.discard(self)
 
     def __enter__(self) -> WorkerPool:
         return self

@@ -156,6 +156,11 @@ class RunManifest:
         manifests, which predate the runtime.
     timings:
         Headline stage durations in seconds.
+    job:
+        Service-daemon provenance (``job_id``, ``client``, ``key``)
+        when the run executed as a ``repro serve`` job; empty — and
+        omitted from the serialized record — for library and CLI
+        runs, so pre-service manifests are byte-identical.
     """
 
     kind: str
@@ -171,10 +176,11 @@ class RunManifest:
     cache: dict[str, Any] = field(default_factory=dict)
     fault_tolerance: dict[str, Any] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
+    job: dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-serializable view with the schema marker first."""
-        return {
+        payload = {
             "schema": MANIFEST_SCHEMA,
             "kind": self.kind,
             "name": self.name,
@@ -190,6 +196,9 @@ class RunManifest:
             "fault_tolerance": self.fault_tolerance,
             "timings": self.timings,
         }
+        if self.job:
+            payload["job"] = self.job
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "RunManifest":
@@ -221,6 +230,7 @@ class RunManifest:
                 payload.get("fault_tolerance", {})
             ),
             timings=dict(payload.get("timings", {})),
+            job=dict(payload.get("job", {})),
         )
 
     def flat_metrics(self) -> dict[str, float]:

@@ -1,0 +1,208 @@
+"""Stdlib-only client for the clustering service daemon.
+
+One :class:`http.client.HTTPConnection` per request (the server is
+``Connection: close``), JSON in/out, typed errors re-raised from the
+server's structured error bodies. Thread-safe by construction — every
+call opens its own connection — which is exactly what the multi-client
+integration test leans on.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterator
+
+from repro.exceptions import ReproError
+from repro.graph.digraph import DirectedGraph
+from repro.service.jobs import ServiceError
+
+__all__ = ["ServiceClient", "ServiceHTTPError"]
+
+
+class ServiceHTTPError(ReproError):
+    """A non-2xx response that doesn't map to a typed library error."""
+
+    def __init__(self, status: int, message: str, error_type: str) -> None:
+        super().__init__(f"HTTP {status} ({error_type}): {message}")
+        self.status = status
+        self.error_type = error_type
+
+
+def _raise_for(status: int, payload: dict[str, Any]) -> None:
+    message = str(payload.get("error", "unknown error"))
+    error_type = str(payload.get("error_type", ""))
+    if status == 429 or error_type == "BudgetExceeded":
+        # The structured fields don't survive the wire; re-raise with
+        # the server's rendered message as the scope.
+        raise ServiceHTTPError(status, message, error_type or "BudgetExceeded")
+    if error_type == "ServiceError" or status in (400, 404, 409):
+        raise ServiceError(message)
+    raise ServiceHTTPError(status, message, error_type or "HTTPError")
+
+
+class ServiceClient:
+    """Talk to a :class:`~repro.service.server.ServiceServer`.
+
+    Parameters
+    ----------
+    host, port:
+        The daemon's listen address.
+    client:
+        Tenant identity sent with every job submission — the unit of
+        the server's per-client wall-clock budget.
+    timeout:
+        Socket timeout per request, seconds.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client: str = "anonymous",
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client = client
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {"X-Repro-Client": self.client}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            parsed = json.loads(raw.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceHTTPError(
+                response.status, f"unparseable body: {exc}", "BadBody"
+            ) from exc
+        if response.status >= 400:
+            _raise_for(response.status, parsed)
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def register_graph(
+        self, name: str, graph: DirectedGraph
+    ) -> dict[str, Any]:
+        """Upload ``graph`` under ``name`` (idempotent per content)."""
+        return self._request(
+            "POST",
+            "/graphs",
+            {
+                "name": name,
+                "n_nodes": graph.n_nodes,
+                "edges": [
+                    [src, dst, weight]
+                    for src, dst, weight in graph.edges()
+                ],
+            },
+        )
+
+    def graphs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/graphs")["graphs"]
+
+    def submit(self, **spec: Any) -> dict[str, Any]:
+        """Submit a job; keyword arguments are the JobSpec fields
+        (``kind``, ``graph``, ``method``, ``clusterer``, ...).
+
+        Returns ``{"job_id", "key", "state", "deduped"}``. Raises
+        :class:`ServiceHTTPError` with ``status=429`` when this
+        client's budget is exhausted.
+        """
+        return self._request("POST", "/jobs", spec)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str, wait: float | None = None) -> dict[str, Any]:
+        """Fetch one job; ``wait`` blocks server-side until it
+        finishes (or the wait elapses)."""
+        path = f"/jobs/{job_id}"
+        if wait is not None:
+            path += f"?wait={wait}"
+        return self._request("GET", path)
+
+    def result(
+        self, job_id: str, timeout: float = 60.0
+    ) -> dict[str, Any]:
+        """Block until ``job_id`` finishes and return its result.
+
+        Raises :class:`~repro.exceptions.ReproError` subclasses
+        reconstructed from the job's recorded failure.
+        """
+        job = self.job(job_id, wait=timeout)
+        if job["state"] not in ("done", "failed"):
+            raise ServiceHTTPError(
+                504,
+                f"job {job_id} still {job['state']} after {timeout}s",
+                "Timeout",
+            )
+        if job["state"] == "failed":
+            if job.get("error_type") == "BudgetExceeded":
+                raise ServiceHTTPError(
+                    429, job.get("error") or "", "BudgetExceeded"
+                )
+            raise ServiceError(
+                f"job {job_id} failed "
+                f"({job.get('error_type')}): {job.get('error')}"
+            )
+        return job["result"]
+
+    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Stream the job's journal records as they are written.
+
+        Yields parsed NDJSON records, ending with the synthetic
+        ``{"type": "job_end", ...}`` sentinel.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "GET",
+                f"/jobs/{job_id}/events",
+                headers={"X-Repro-Client": self.client},
+            )
+            response = conn.getresponse()
+            if response.status >= 400:
+                _raise_for(
+                    response.status,
+                    json.loads(response.read().decode() or "{}"),
+                )
+            for raw_line in response:
+                line = raw_line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._request("POST", "/shutdown")

@@ -1,0 +1,755 @@
+"""Graph registry and job manager for the clustering service daemon.
+
+This module is the daemon's brain, independent of HTTP: it owns the
+registered graphs, the shared :class:`~repro.engine.ArtifactCache`, a
+bounded thread pool executing jobs, and the bookkeeping that makes
+many concurrent clients cheap:
+
+- **Content-addressed dedup.** A job's identity is the same
+  :func:`~repro.engine.point_key` lineage the sweep journal uses:
+  sha256 of (dataset fingerprint, stage-lineage fingerprints, request
+  parameters, mode). Two clients posting byte-identical requests get
+  the *same* job — one execution, both receive the result — and a
+  request identical to an already-finished job is served from that
+  job's recorded result without recomputing anything.
+- **Per-client budgets.** PR 5's :class:`~repro.engine.Budget`
+  machinery, applied per tenant: each client has a cumulative
+  wall-clock allowance; a submission from an exhausted client raises
+  :class:`~repro.exceptions.BudgetExceeded` (the HTTP layer maps it
+  to 429). Deduplicated riders are not charged — shared computation
+  is the point of the content addressing.
+- **Per-job isolation.** Every job executes inside an isolated
+  :func:`~repro.engine.ambient_scope` carrying the shared cache, a
+  fresh tracer + metrics registry, and the job's own write-ahead
+  journal (``<data_dir>/jobs/<job_id>/journal.jsonl``) — the journal
+  the ``/jobs/<id>/events`` endpoint tails. Nothing ambient leaks
+  between jobs that reuse a pooled worker thread.
+- **Per-job provenance.** Each job appends a
+  :class:`~repro.obs.RunManifest` (with a ``job`` section keyed by
+  job id) to ``<data_dir>/manifests.jsonl``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.common import get_clusterer
+from repro.engine import (
+    ArtifactCache,
+    Budget,
+    ClusterStage,
+    Executor,
+    Plan,
+    RetryPolicy,
+    RunJournal,
+    SymmetrizeStage,
+    ValidateInputStage,
+    ambient_scope,
+    point_key,
+)
+from repro.exceptions import BudgetExceeded, ReproError
+from repro.graph.digraph import DirectedGraph
+from repro.obs.manifest import (
+    RunManifest,
+    append_manifest,
+    collect_environment,
+    fingerprint_graph,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.pipeline.pipeline import SymmetrizeClusterPipeline
+from repro.pipeline.sweep import aggregate_average_f, sweep_n_clusters
+from repro.symmetrize.base import get_symmetrization
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "ServiceError",
+    "JobSpec",
+    "RegisteredGraph",
+    "Job",
+    "JobManager",
+]
+
+#: Request kinds the daemon executes.
+JOB_KINDS = ("symmetrize", "cluster", "sweep")
+
+#: Lifecycle of a job. ``queued -> running -> done | failed``.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class ServiceError(ReproError):
+    """A malformed or unserviceable request (HTTP 400/404/409)."""
+
+
+def _labels_sha(labels: np.ndarray) -> str:
+    """Content hash of a labels vector, for byte-identity checks."""
+    return hashlib.sha256(
+        np.ascontiguousarray(labels, dtype=np.int64).tobytes()
+    ).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated job request.
+
+    ``counts`` applies to ``kind="sweep"`` only; ``n_clusters`` to
+    ``cluster`` and ``sweep``-less kinds. The spec is hashable into
+    the job's content address, so every field must stay
+    JSON-canonical.
+    """
+
+    kind: str
+    graph: str
+    method: str = "degree_discounted"
+    clusterer: str = "mlrmcl"
+    threshold: float = 0.0
+    n_clusters: int | None = None
+    counts: tuple[int, ...] | None = None
+    mode: str = "strict"
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "JobSpec":
+        """Validate a request body into a spec (raises 400-shaped
+        :class:`ServiceError` on anything malformed)."""
+        if not isinstance(payload, dict):
+            raise ServiceError("job request body must be an object")
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise ServiceError(
+                f"unknown job kind {kind!r}; expected one of "
+                f"{JOB_KINDS}"
+            )
+        graph = payload.get("graph")
+        if not isinstance(graph, str) or not graph:
+            raise ServiceError(
+                "job request needs 'graph': a registered graph name"
+            )
+        mode = payload.get("mode", "strict")
+        if mode not in ("strict", "lenient"):
+            raise ServiceError(f"unknown mode {mode!r}")
+        counts = payload.get("counts")
+        if kind == "sweep":
+            if not counts or not isinstance(counts, (list, tuple)):
+                raise ServiceError(
+                    "sweep jobs need 'counts': a list of cluster "
+                    "counts"
+                )
+            counts = tuple(int(k) for k in counts)
+        elif counts is not None:
+            raise ServiceError(
+                f"'counts' is only valid for sweep jobs, not {kind!r}"
+            )
+        n_clusters = payload.get("n_clusters")
+        try:
+            return cls(
+                kind=kind,
+                graph=graph,
+                method=str(payload.get("method", "degree_discounted")),
+                clusterer=str(payload.get("clusterer", "mlrmcl")),
+                threshold=float(payload.get("threshold", 0.0)),
+                n_clusters=(
+                    int(n_clusters) if n_clusters is not None else None
+                ),
+                counts=counts,
+                mode=mode,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed job request: {exc}") from exc
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "graph": self.graph,
+            "method": self.method,
+            "clusterer": self.clusterer,
+            "threshold": self.threshold,
+            "n_clusters": self.n_clusters,
+            "counts": list(self.counts) if self.counts else None,
+            "mode": self.mode,
+        }
+
+
+@dataclass(frozen=True)
+class RegisteredGraph:
+    """A directed graph the daemon holds in memory for jobs."""
+
+    name: str
+    graph: DirectedGraph
+    sha: str
+    created_unix: float
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "sha": self.sha,
+            "n_nodes": self.graph.n_nodes,
+            "n_edges": self.graph.n_edges,
+            "created_unix": self.created_unix,
+        }
+
+
+class Job:
+    """One submitted (possibly shared) unit of work."""
+
+    def __init__(
+        self,
+        job_id: str,
+        key: str,
+        spec: JobSpec,
+        client: str,
+        journal_path: Path,
+    ) -> None:
+        self.job_id = job_id
+        self.key = key
+        self.spec = spec
+        self.clients = [client]
+        self.journal_path = journal_path
+        self.state = "queued"
+        self.created_unix = time.time()
+        self.started_unix: float | None = None
+        self.finished_unix: float | None = None
+        self.result: dict[str, Any] | None = None
+        self.error: str | None = None
+        self.error_type: str | None = None
+        self.warnings: list[dict[str, str]] = []
+        self.done = threading.Event()
+
+    @property
+    def seconds(self) -> float | None:
+        if self.started_unix is None or self.finished_unix is None:
+            return None
+        return self.finished_unix - self.started_unix
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "key": self.key,
+            "kind": self.spec.kind,
+            "graph": self.spec.graph,
+            "state": self.state,
+            "clients": list(self.clients),
+            "created_unix": self.created_unix,
+            "seconds": self.seconds,
+            "error": self.error,
+            "error_type": self.error_type,
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            **self.summary(),
+            "spec": self.spec.as_dict(),
+            "journal": str(self.journal_path),
+            "warnings": self.warnings,
+            "result": self.result,
+        }
+
+
+class JobManager:
+    """Owns graphs, the cache, and a bounded pool of job workers.
+
+    Parameters
+    ----------
+    data_dir:
+        Daemon state root: graph uploads, per-job journals and the
+        manifest run log all live under it.
+    cache:
+        The shared artifact cache (memory-only by default; pass one
+        with a ``directory`` for a persistent disk tier).
+    max_workers:
+        Bound on concurrently *executing* jobs; further submissions
+        queue.
+    job_budget:
+        Per-job :class:`Budget` ceiling (wall / memory), enforced by
+        the engine as the plan budget of every execution.
+    client_wall_s:
+        Cumulative per-client wall-clock allowance across all their
+        completed jobs; ``None`` disables tenant budgeting. Clients
+        over the allowance are denied with
+        :class:`~repro.exceptions.BudgetExceeded`.
+    retry:
+        :class:`RetryPolicy` applied to every job's stages.
+    metrics:
+        Server-level registry for service counters (jobs, dedup
+        hits, denials). A private one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | Path,
+        cache: ArtifactCache | None = None,
+        max_workers: int = 2,
+        job_budget: Budget | None = None,
+        client_wall_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.job_budget = job_budget
+        self.client_wall_s = client_wall_s
+        self.retry = retry
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self.manifest_log = self.data_dir / "manifests.jsonl"
+        self._graphs: dict[str, RegisteredGraph] = {}
+        self._jobs: dict[str, Job] = {}
+        self._by_key: dict[str, Job] = {}
+        self._client_spent: dict[str, float] = {}
+        self._futures: dict[str, concurrent.futures.Future] = {}
+        self._lock = threading.RLock()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers,
+            thread_name_prefix="repro-job",
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Graph registry
+    # ------------------------------------------------------------------
+    def register_graph(
+        self, name: str, graph: DirectedGraph
+    ) -> RegisteredGraph:
+        """Register ``graph`` under ``name`` (idempotent for the same
+        content; a different graph under a taken name is a conflict)."""
+        if not name or "/" in name:
+            raise ServiceError(
+                f"invalid graph name {name!r} (must be non-empty, "
+                "no '/')"
+            )
+        sha = fingerprint_graph(graph)["sha256"]
+        with self._lock:
+            existing = self._graphs.get(name)
+            if existing is not None:
+                if existing.sha == sha:
+                    return existing
+                raise ServiceError(
+                    f"graph name {name!r} is already registered with "
+                    f"different content (sha {existing.sha})"
+                )
+            registered = RegisteredGraph(
+                name=name,
+                graph=graph,
+                sha=sha,
+                created_unix=time.time(),
+            )
+            self._graphs[name] = registered
+            self.metrics.inc("service_graphs_registered_total")
+        return registered
+
+    def graph(self, name: str) -> RegisteredGraph:
+        with self._lock:
+            try:
+                return self._graphs[name]
+            except KeyError:
+                raise ServiceError(
+                    f"no graph registered under {name!r}"
+                ) from None
+
+    def graphs(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [g.summary() for g in self._graphs.values()]
+
+    # ------------------------------------------------------------------
+    # Job identity
+    # ------------------------------------------------------------------
+    def _lineage_stages(self, spec: JobSpec) -> list[Any]:
+        """The stage lineage a spec's execution runs through, used
+        for its content address (and submit-time validation of the
+        method / clusterer names)."""
+        symmetrization = get_symmetrization(spec.method)
+        stages: list[Any] = [
+            ValidateInputStage(),
+            SymmetrizeStage(
+                symmetrization, threshold=spec.threshold
+            ),
+        ]
+        if spec.kind == "cluster":
+            stages.append(
+                ClusterStage(
+                    get_clusterer(spec.clusterer), spec.n_clusters
+                )
+            )
+        elif spec.kind == "sweep":
+            # Counts are swept per point; they enter the key as the
+            # parameter, and the clusterer via one representative
+            # stage fingerprint.
+            stages.append(
+                ClusterStage(get_clusterer(spec.clusterer), None)
+            )
+        return stages
+
+    def job_key(self, spec: JobSpec) -> str:
+        """The content address two identical requests share."""
+        registered = self.graph(spec.graph)
+        lineage = [
+            stage.fingerprint()
+            for stage in self._lineage_stages(spec)
+        ]
+        return point_key(
+            registered.sha, lineage, spec.as_dict(), spec.mode
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _check_client_budget(self, client: str) -> None:
+        if self.client_wall_s is None:
+            return
+        spent = self._client_spent.get(client, 0.0)
+        if spent >= self.client_wall_s:
+            self.metrics.inc("service_budget_denials_total")
+            raise BudgetExceeded(
+                f"client:{client}", "wall_s", self.client_wall_s,
+                spent,
+            )
+
+    def submit(self, spec: JobSpec, client: str) -> tuple[Job, bool]:
+        """Submit (or join) a job; returns ``(job, deduped)``.
+
+        Raises :class:`BudgetExceeded` when ``client`` has exhausted
+        its wall-clock allowance, and :class:`ServiceError` for
+        unknown graphs / methods / clusterers.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceError("server is shutting down")
+            self._check_client_budget(client)
+            key = self.job_key(spec)
+            existing = self._by_key.get(key)
+            if existing is not None and existing.state != "failed":
+                # Identical request: share the computation (or its
+                # recorded result). The rider is not charged.
+                if client not in existing.clients:
+                    existing.clients.append(client)
+                self.metrics.inc("service_dedup_hits_total")
+                return existing, True
+            job = Job(
+                job_id=f"job-{key[:16]}",
+                key=key,
+                spec=spec,
+                client=client,
+                journal_path=(
+                    self.data_dir
+                    / "jobs"
+                    / f"job-{key[:16]}"
+                    / "journal.jsonl"
+                ),
+            )
+            self._jobs[job.job_id] = job
+            self._by_key[key] = job
+            self.metrics.inc("service_jobs_submitted_total")
+            self._futures[job.job_id] = self._executor.submit(
+                self._execute, job, client
+            )
+            return job, False
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ServiceError(
+                    f"no job with id {job_id!r}"
+                ) from None
+
+    def jobs(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [j.summary() for j in self._jobs.values()]
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "graphs": len(self._graphs),
+                "jobs": states,
+                "clients": {
+                    client: {
+                        "wall_s_spent": spent,
+                        "wall_s_budget": self.client_wall_s,
+                    }
+                    for client, spent in self._client_spent.items()
+                },
+                "metrics": self.metrics.as_dict(),
+                "cache": self.cache.stats(),
+            }
+
+    # ------------------------------------------------------------------
+    # Execution (worker threads)
+    # ------------------------------------------------------------------
+    def _execute(self, job: Job, client: str) -> None:
+        job.state = "running"
+        job.started_unix = time.time()
+        journal = RunJournal(job.journal_path, run_id=job.job_id)
+        tracer = Tracer()
+        job_metrics = MetricsRegistry()
+        registered = self.graph(job.spec.graph)
+        manifest: RunManifest | None = None
+        try:
+            # Isolated scope: the job sees the shared cache, its own
+            # tracer/metrics/journal, and nothing from whatever ran
+            # on this pooled thread before it.
+            with ambient_scope(
+                cache=self.cache,
+                tracer=tracer,
+                metrics=job_metrics,
+                journal=journal,
+                isolate=True,
+            ):
+                result, manifest = self._run_spec(
+                    job, registered, tracer, job_metrics
+                )
+            journal.finish("complete")
+            job.result = result
+            job.state = "done"
+            self.metrics.inc("service_jobs_completed_total")
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            journal.finish("failed")
+            job.error = str(exc)
+            job.error_type = type(exc).__name__
+            job.state = "failed"
+            self.metrics.inc("service_jobs_failed_total")
+            if isinstance(exc, BudgetExceeded):
+                self.metrics.inc("service_job_budget_overruns_total")
+        finally:
+            journal.close()
+            job.finished_unix = time.time()
+            with self._lock:
+                self._client_spent[client] = self._client_spent.get(
+                    client, 0.0
+                ) + (job.finished_unix - job.started_unix)
+                self._futures.pop(job.job_id, None)
+            if manifest is not None:
+                manifest.job = {
+                    "job_id": job.job_id,
+                    "key": job.key,
+                    "clients": list(job.clients),
+                }
+                try:
+                    append_manifest(manifest, self.manifest_log)
+                except OSError:
+                    self.metrics.inc(
+                        "service_manifest_write_failures_total"
+                    )
+            job.done.set()
+
+    def _plan_budget(self) -> Budget | None:
+        return self.job_budget
+
+    def _run_spec(
+        self,
+        job: Job,
+        registered: RegisteredGraph,
+        tracer: Tracer,
+        job_metrics: MetricsRegistry,
+    ) -> tuple[dict[str, Any], RunManifest | None]:
+        spec = job.spec
+        self.metrics.inc("service_job_executions_total")
+        if spec.kind == "cluster":
+            return self._run_cluster(job, registered)
+        if spec.kind == "symmetrize":
+            return self._run_symmetrize(
+                job, registered, tracer, job_metrics
+            )
+        return self._run_sweep(job, registered, tracer, job_metrics)
+
+    def _run_cluster(
+        self, job: Job, registered: RegisteredGraph
+    ) -> tuple[dict[str, Any], RunManifest | None]:
+        spec = job.spec
+        pipe = SymmetrizeClusterPipeline(
+            spec.method,
+            spec.clusterer,
+            threshold=spec.threshold,
+            mode=spec.mode,
+        )
+        result = pipe.run(
+            registered.graph,
+            n_clusters=spec.n_clusters,
+            plan_budget=self._plan_budget(),
+            retry=self.retry,
+        )
+        job.warnings = [
+            {"stage": w.stage, "code": w.code, "message": w.message}
+            for w in result.warnings
+        ]
+        labels = result.clustering.labels
+        payload = {
+            "kind": "cluster",
+            "labels": [int(v) for v in labels],
+            "labels_sha256": _labels_sha(labels),
+            "n_clusters": int(result.clustering.n_clusters),
+            "n_edges": int(result.symmetrized.n_edges),
+            "symmetrize_seconds": result.symmetrize_seconds,
+            "cluster_seconds": result.cluster_seconds,
+            "cache": result.cache,
+        }
+        return payload, result.manifest
+
+    def _run_symmetrize(
+        self,
+        job: Job,
+        registered: RegisteredGraph,
+        tracer: Tracer,
+        job_metrics: MetricsRegistry,
+    ) -> tuple[dict[str, Any], RunManifest | None]:
+        spec = job.spec
+        stages = [
+            ValidateInputStage(),
+            SymmetrizeStage(
+                get_symmetrization(spec.method),
+                threshold=spec.threshold,
+            ),
+        ]
+        plan = Plan(
+            stages,
+            initial=("graph",),
+            name=f"service.symmetrize.{spec.method}",
+        )
+        executor = Executor(
+            mode=spec.mode,
+            cache=self.cache,
+            plan_budget=self._plan_budget(),
+            retry=self.retry,
+        )
+        execution = executor.execute(
+            plan,
+            {"graph": registered.graph},
+            dataset_sha=registered.sha,
+        )
+        job.warnings = [
+            {"stage": w.stage, "code": w.code, "message": w.message}
+            for w in execution.warnings
+        ]
+        symmetrized = execution.values["symmetrized"]
+        payload = {
+            "kind": "symmetrize",
+            "n_nodes": int(symmetrized.n_nodes),
+            "n_edges": int(symmetrized.n_edges),
+            "result_sha": fingerprint_graph(symmetrized)["sha256"],
+            "seconds": execution.seconds("symmetrize"),
+            "cache": execution.cache_summary(),
+        }
+        manifest = self._service_manifest(
+            job, registered, tracer, job_metrics,
+            timings={
+                "symmetrize_seconds": execution.seconds("symmetrize")
+            },
+            cache=execution.cache_summary(),
+        )
+        return payload, manifest
+
+    def _run_sweep(
+        self,
+        job: Job,
+        registered: RegisteredGraph,
+        tracer: Tracer,
+        job_metrics: MetricsRegistry,
+    ) -> tuple[dict[str, Any], RunManifest | None]:
+        spec = job.spec
+        points = sweep_n_clusters(
+            registered.graph,
+            spec.method,
+            spec.clusterer,
+            list(spec.counts or ()),
+            threshold=spec.threshold,
+            cache=self.cache,
+            mode=spec.mode,
+            retry=self.retry,
+            plan_budget=self._plan_budget(),
+        )
+        payload = {
+            "kind": "sweep",
+            "points": [
+                {
+                    "parameter": point.parameter,
+                    "n_clusters": int(point.n_clusters),
+                    "average_f": point.average_f,
+                    "n_edges": int(point.n_edges),
+                    "cluster_seconds": point.cluster_seconds,
+                    "cache_hit": point.cache_hit,
+                    "failed": point.failed,
+                    "error": point.error,
+                }
+                for point in points
+            ],
+            "mean_average_f": aggregate_average_f(points),
+        }
+        manifest = self._service_manifest(
+            job, registered, tracer, job_metrics,
+            timings={
+                "sweep_seconds": sum(
+                    p.cluster_seconds for p in points
+                )
+            },
+            cache={
+                "hits": sum(1 for p in points if p.cache_hit),
+                "misses": sum(
+                    1 for p in points if p.cache_hit is False
+                ),
+            },
+        )
+        return payload, manifest
+
+    def _service_manifest(
+        self,
+        job: Job,
+        registered: RegisteredGraph,
+        tracer: Tracer,
+        job_metrics: MetricsRegistry,
+        timings: dict[str, float],
+        cache: dict[str, Any],
+    ) -> RunManifest:
+        return RunManifest(
+            kind="service",
+            name=f"{job.spec.kind}.{job.spec.method}",
+            config=job.spec.as_dict(),
+            dataset=fingerprint_graph(registered.graph),
+            environment=collect_environment(),
+            warnings=job.warnings,
+            trace=tracer.as_dict().get("spans", []),
+            metrics=job_metrics.as_dict(),
+            cache=cache,
+            timings=timings,
+        )
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 30.0) -> bool:
+        """Stop accepting jobs and drain the running ones.
+
+        Queued-but-unstarted jobs are cancelled (they stay
+        ``queued`` with an error note); running jobs get up to
+        ``timeout`` seconds to finish. Returns ``True`` on a clean
+        drain.
+        """
+        with self._lock:
+            self._closed = True
+            pending = dict(self._futures)
+        for job_id, future in pending.items():
+            if future.cancel():
+                job = self._jobs.get(job_id)
+                if job is not None:
+                    job.state = "failed"
+                    job.error = "cancelled at shutdown"
+                    job.error_type = "Cancelled"
+                    job.done.set()
+        done, not_done = concurrent.futures.wait(
+            [f for f in pending.values() if not f.cancelled()],
+            timeout=timeout,
+        )
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        return not not_done

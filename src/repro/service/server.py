@@ -1,0 +1,419 @@
+"""Asyncio HTTP/JSON front end of the clustering service.
+
+Stdlib only: a hand-rolled HTTP/1.1 server on ``asyncio.start_server``
+(one request per connection, ``Connection: close``), translating the
+wire protocol into :class:`~repro.service.jobs.JobManager` calls. Job
+execution happens on the manager's worker threads; the event loop only
+parses requests, serializes responses and tails journals, so slow jobs
+never block health checks or event streams.
+
+Endpoints
+---------
+- ``GET  /health``            liveness + identity
+- ``GET  /stats``             job/client/cache/metrics counters
+- ``POST /graphs``            register a graph (name + edge list)
+- ``GET  /graphs``            list registered graphs
+- ``POST /jobs``              submit a job (dedup-aware)
+- ``GET  /jobs``              list jobs
+- ``GET  /jobs/<id>``         one job; ``?wait=<s>`` blocks until done
+- ``GET  /jobs/<id>/events``  NDJSON stream of the job's journal
+- ``POST /shutdown``          drain and stop
+
+Error mapping: :class:`~repro.service.jobs.ServiceError` whose message
+starts with "no graph"/"no job" → 404, other validation failures →
+400, :class:`~repro.exceptions.BudgetExceeded` at submission → 429,
+anything unexpected → 500 with the exception type in the body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.engine import ArtifactCache, Budget, JournalTailer, RetryPolicy
+from repro.exceptions import BudgetExceeded, ReproError
+from repro.graph.digraph import DirectedGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.service.jobs import JobManager, JobSpec, ServiceError
+
+__all__ = ["ServiceServer", "serve"]
+
+#: Protocol marker returned by ``/health`` and asserted by the client.
+SERVICE_SCHEMA = "repro-service/v1"
+
+_MAX_BODY = 256 * 1024 * 1024  # uploads are edge lists; be generous
+_EVENTS_POLL_S = 0.05
+
+
+class _HttpError(Exception):
+    """Internal: carries an HTTP status to the response writer."""
+
+    def __init__(
+        self, status: int, message: str, error_type: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type or type(self).__name__
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode()
+
+
+def _status_for(exc: Exception) -> int:
+    if isinstance(exc, BudgetExceeded):
+        return 429
+    if isinstance(exc, ServiceError):
+        message = str(exc)
+        if message.startswith(("no graph", "no job")):
+            return 404
+        if "already registered" in message:
+            return 409
+        return 400
+    if isinstance(exc, ReproError):
+        return 400
+    return 500
+
+
+class ServiceServer:
+    """The daemon: owns a :class:`JobManager` and an asyncio server.
+
+    Parameters mirror :class:`~repro.service.jobs.JobManager`, plus
+    the listen address. ``port=0`` binds an ephemeral port — read the
+    bound one from :attr:`port` after :meth:`start` (the integration
+    tests rely on this to avoid collisions).
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache: ArtifactCache | None = None,
+        max_workers: int = 2,
+        job_budget: Budget | None = None,
+        client_wall_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.manager = JobManager(
+            data_dir,
+            cache=cache,
+            max_workers=max_workers,
+            job_budget=job_budget,
+            client_wall_s=client_wall_s,
+            retry=retry,
+            metrics=metrics,
+        )
+        self.started_unix = time.time()
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> bool:
+        """Serve until ``POST /shutdown`` (or :meth:`request_shutdown`).
+
+        Returns ``True`` when the job manager drained cleanly.
+        """
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._shutdown.wait()
+        # Drain jobs off-loop: close() blocks on running futures.
+        clean = await asyncio.get_running_loop().run_in_executor(
+            None, self.manager.close
+        )
+        return clean
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            try:
+                method, target, headers = await self._read_head(reader)
+                body = await self._read_body(reader, headers)
+                await self._dispatch(method, target, headers, body, writer)
+            except _HttpError as exc:
+                await self._respond_error(writer, exc.status, exc)
+            except Exception as exc:  # noqa: BLE001 - connection boundary
+                await self._respond_error(writer, _status_for(exc), exc)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_head(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str]]:
+        try:
+            raw = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError as exc:
+            raise _HttpError(431, "request head too large") from exc
+        lines = raw.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {lines[0]!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return method.upper(), target, headers
+
+    async def _read_body(
+        self, reader: asyncio.StreamReader, headers: dict[str, str]
+    ) -> bytes:
+        length = int(headers.get("content-length", "0") or "0")
+        if length <= 0:
+            return b""
+        if length > _MAX_BODY:
+            raise _HttpError(413, f"body of {length} bytes exceeds limit")
+        return await reader.readexactly(length)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self,
+        method: str,
+        target: str,
+        headers: dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        split = urlsplit(target)
+        path = unquote(split.path).rstrip("/") or "/"
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(split.query).items()
+        }
+        route = (method, path)
+        if route == ("GET", "/health"):
+            return await self._respond(writer, 200, self._health())
+        if route == ("GET", "/stats"):
+            return await self._respond(writer, 200, self.manager.stats())
+        if route == ("GET", "/graphs"):
+            return await self._respond(
+                writer, 200, {"graphs": self.manager.graphs()}
+            )
+        if route == ("POST", "/graphs"):
+            return await self._post_graph(writer, body)
+        if route == ("GET", "/jobs"):
+            return await self._respond(
+                writer, 200, {"jobs": self.manager.jobs()}
+            )
+        if route == ("POST", "/jobs"):
+            return await self._post_job(writer, headers, body)
+        if route == ("POST", "/shutdown"):
+            await self._respond(writer, 200, {"shutdown": "draining"})
+            self.request_shutdown()
+            return None
+        if method == "GET" and path.startswith("/jobs/"):
+            tail = path[len("/jobs/") :]
+            if tail.endswith("/events"):
+                return await self._stream_events(
+                    writer, tail[: -len("/events")].rstrip("/")
+                )
+            return await self._get_job(writer, tail, query)
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "schema": SERVICE_SCHEMA,
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_unix,
+        }
+
+    @staticmethod
+    def _parse_json(body: bytes) -> dict[str, Any]:
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        return payload
+
+    async def _post_graph(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        payload = self._parse_json(body)
+        name = payload.get("name")
+        edges = payload.get("edges")
+        if not isinstance(name, str) or not isinstance(edges, list):
+            raise _HttpError(
+                400, "graph upload needs 'name' and 'edges' [[u, v, w], ...]"
+            )
+        n_nodes = payload.get("n_nodes")
+        # Build off-loop: parsing a large edge list is CPU-bound.
+        graph = await asyncio.get_running_loop().run_in_executor(
+            None,
+            lambda: DirectedGraph.from_edges(
+                [tuple(edge) for edge in edges],
+                n_nodes=int(n_nodes) if n_nodes is not None else None,
+            ),
+        )
+        registered = self.manager.register_graph(name, graph)
+        await self._respond(writer, 201, registered.summary())
+
+    async def _post_job(
+        self,
+        writer: asyncio.StreamWriter,
+        headers: dict[str, str],
+        body: bytes,
+    ) -> None:
+        payload = self._parse_json(body)
+        client = str(
+            payload.pop("client", None)
+            or headers.get("x-repro-client")
+            or "anonymous"
+        )
+        spec = JobSpec.from_dict(payload)
+        job, deduped = self.manager.submit(spec, client)
+        await self._respond(
+            writer,
+            202,
+            {
+                "job_id": job.job_id,
+                "key": job.key,
+                "state": job.state,
+                "deduped": deduped,
+            },
+        )
+
+    async def _get_job(
+        self,
+        writer: asyncio.StreamWriter,
+        job_id: str,
+        query: dict[str, str],
+    ) -> None:
+        job = self.manager.job(job_id)
+        wait_s = float(query.get("wait", "0") or "0")
+        if wait_s > 0 and not job.done.is_set():
+            # Block off-loop on the job's Event, not the event loop.
+            await asyncio.get_running_loop().run_in_executor(
+                None, job.done.wait, wait_s
+            )
+        await self._respond(writer, 200, job.as_dict())
+
+    # ------------------------------------------------------------------
+    # Event streaming
+    # ------------------------------------------------------------------
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        job = self.manager.job(job_id)
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        tailer = JournalTailer(job.journal_path, run_id=job.job_id)
+        while True:
+            finished = job.done.is_set()
+            for record in tailer.poll():
+                writer.write(_json_bytes(record))
+            await writer.drain()
+            if finished:
+                # One poll ran *after* observing completion, so the
+                # journal tail has been flushed into the stream.
+                break
+            await asyncio.sleep(_EVENTS_POLL_S)
+        writer.write(
+            _json_bytes(
+                {
+                    "type": "job_end",
+                    "job_id": job.job_id,
+                    "state": job.state,
+                    "error": job.error,
+                }
+            )
+        )
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Response writers
+    # ------------------------------------------------------------------
+    _REASONS = {
+        200: "OK",
+        201: "Created",
+        202: "Accepted",
+        400: "Bad Request",
+        404: "Not Found",
+        409: "Conflict",
+        413: "Payload Too Large",
+        429: "Too Many Requests",
+        431: "Request Header Fields Too Large",
+        500: "Internal Server Error",
+    }
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: Any
+    ) -> None:
+        body = _json_bytes(payload)
+        reason = self._REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode()
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _respond_error(
+        self, writer: asyncio.StreamWriter, status: int, exc: Exception
+    ) -> None:
+        error_type = getattr(exc, "error_type", "") or type(exc).__name__
+        await self._respond(
+            writer,
+            status,
+            {"error": str(exc), "error_type": error_type},
+        )
+
+
+async def _serve_async(server: ServiceServer) -> bool:
+    await server.start()
+    print(
+        f"repro service listening on "
+        f"http://{server.host}:{server.port}",
+        flush=True,
+    )
+    return await server.serve_until_shutdown()
+
+
+def serve(server: ServiceServer) -> bool:
+    """Run ``server`` until shutdown; returns ``True`` on clean drain."""
+    try:
+        return asyncio.run(_serve_async(server))
+    except KeyboardInterrupt:
+        return server.manager.close(timeout=10.0)

@@ -1,0 +1,144 @@
+"""CI smoke check for the clustering service daemon.
+
+Boots ``python -m repro serve`` as a real subprocess on an ephemeral
+port, registers a generated graph over HTTP, submits two identical
+jobs plus one distinct job, and asserts the daemon's acceptance
+criteria end to end:
+
+1. the two identical submissions share one job id (exactly one dedup
+   hit, exactly two executions server-side);
+2. both deduplicated submissions return the same labels hash, and the
+   distinct job a different job id;
+3. ``POST /shutdown`` drains the daemon to a clean exit (code 0)
+   within the deadline, leaving no child processes behind.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--deadline 60]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+
+def fail(message: str) -> int:
+    print(f"serve-smoke FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        help="seconds allowed for the whole boot/submit/drain cycle",
+    )
+    args = parser.parse_args()
+    started = time.monotonic()
+
+    from repro.datasets import make_cora_like
+    from repro.service import ServiceClient
+
+    graph = make_cora_like(n_nodes=200, n_categories=4, seed=7).graph
+
+    with tempfile.TemporaryDirectory() as tmp:
+        daemon = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--data-dir",
+                str(Path(tmp) / "svc"),
+                "--workers",
+                "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(SRC)},
+        )
+        try:
+            # The daemon announces its bound ephemeral port on stdout.
+            assert daemon.stdout is not None
+            line = daemon.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", line)
+            if not match:
+                return fail(f"no listen line, got {line!r}")
+            port = int(match.group(1))
+            client = ServiceClient(
+                "127.0.0.1", port, client="smoke", timeout=30.0
+            )
+            client.register_graph("cora", graph)
+
+            first = client.submit(
+                kind="cluster", graph="cora", n_clusters=8
+            )
+            second = client.submit(
+                kind="cluster", graph="cora", n_clusters=8
+            )
+            distinct = client.submit(
+                kind="cluster", graph="cora", n_clusters=16
+            )
+            if second["job_id"] != first["job_id"]:
+                return fail("identical submissions got distinct jobs")
+            if not second["deduped"] or first["deduped"]:
+                return fail(
+                    f"dedup flags wrong: {first['deduped']}, "
+                    f"{second['deduped']}"
+                )
+            if distinct["job_id"] == first["job_id"]:
+                return fail("distinct submission was deduplicated")
+
+            shared = client.result(first["job_id"], timeout=60)
+            other = client.result(distinct["job_id"], timeout=60)
+            if shared["labels_sha256"] == other["labels_sha256"]:
+                return fail("distinct jobs returned identical labels")
+
+            counters = client.stats()["metrics"]["counters"]
+            if counters.get("service_dedup_hits_total") != 1:
+                return fail(f"expected 1 dedup hit, got {counters}")
+            if counters.get("service_job_executions_total") != 2:
+                return fail(f"expected 2 executions, got {counters}")
+
+            client.shutdown()
+            remaining = args.deadline - (time.monotonic() - started)
+            try:
+                code = daemon.wait(timeout=max(remaining, 1.0))
+            except subprocess.TimeoutExpired:
+                return fail(
+                    f"daemon did not drain within {args.deadline}s"
+                )
+            if code != 0:
+                return fail(f"daemon exited {code}")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(10)
+
+    elapsed = time.monotonic() - started
+    print(
+        f"serve-smoke OK: 3 submissions, 1 dedup hit, clean drain "
+        f"in {elapsed:.1f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
