@@ -10,6 +10,7 @@
 #   make scale-smoke   out-of-core 50k-node bench under wall/mem budget
 #   make cache-smoke   cache identity + SIGKILL/resume smoke
 #   make serve-smoke   service daemon boot/dedup/drain smoke
+#   make tune-smoke    cost-model fit + auto-tuned pipeline smoke
 #   make coverage      pytest-cov gate (falls back to the stdlib tool)
 #   make ci            everything the PR gate runs
 #
@@ -19,7 +20,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint format-check fault-smoke chaos-smoke bench-smoke \
-	scale-smoke cache-smoke serve-smoke coverage ci clean
+	scale-smoke cache-smoke serve-smoke tune-smoke coverage ci clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -52,6 +53,9 @@ cache-smoke:
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py --deadline 60
 
+tune-smoke:
+	$(PYTHON) tools/tune_smoke.py
+
 coverage:
 	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
 		$(PYTHON) -m pytest -q --cov=repro --cov-report=term; \
@@ -61,7 +65,7 @@ coverage:
 	fi
 
 ci: lint test fault-smoke chaos-smoke bench-smoke scale-smoke cache-smoke \
-	serve-smoke
+	serve-smoke tune-smoke
 
 clean:
 	rm -rf .pytest_cache .ruff_cache coverage.xml .coverage \

@@ -32,13 +32,14 @@ finishes in CI time; that mode is exercised by
 
 from __future__ import annotations
 
+import os
 import platform
 import shutil
 import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 import scipy
@@ -48,12 +49,14 @@ from repro.obs.metrics import MetricsRegistry, metrics_active
 
 __all__ = [
     "SCALE_SCHEMA",
+    "SCALE_SMOKE_ENV",
     "DEFAULT_SCALE_SIZES",
     "SMOKE_SCALE_SIZES",
     "DEFAULT_SCALE_THRESHOLD",
     "DEFAULT_SCALE_D_MAX",
     "MAX_PEAK_RSS_BYTES",
     "REQUIRED_POINT_KEYS",
+    "scale_smoke_enabled",
     "run_scale_bench",
     "scale_manifest",
     "format_scale_summary",
@@ -61,6 +64,24 @@ __all__ = [
 
 #: Schema identifier embedded in ``BENCH_scale.json``.
 SCALE_SCHEMA = "repro-bench-scale/v1"
+
+#: Environment gate for the minutes-long scale smoke (see
+#: ``docs/performance.md``): tests and CI jobs marked ``scale_smoke``
+#: only run when this variable is ``"1"``.
+SCALE_SMOKE_ENV = "REPRO_SCALE_SMOKE"
+
+
+def scale_smoke_enabled(
+    environ: Mapping[str, str] | None = None,
+) -> bool:
+    """Whether the opt-in scale smoke should run in this process.
+
+    The single authority for the :data:`SCALE_SMOKE_ENV` gate —
+    ``tests/test_scale_bench.py``'s skip marks and the CI/Makefile
+    smoke targets all route through the same convention.
+    """
+    env = os.environ if environ is None else environ
+    return env.get(SCALE_SMOKE_ENV) == "1"
 
 #: Full-run sizes: the two operating points the paper's timing figures
 #: report (DBLP-scale and LiveJournal-order-of-magnitude).

@@ -193,6 +193,7 @@ def _run_point(
     plan_budget: Budget | None,
     journal: RunJournal | None,
     resume: JournalReplay | None,
+    tuning: Any = None,
 ) -> ExecutionResult:
     """Execute one grid point's plan against the sweep cache."""
     values: dict[str, object] = {"graph": graph}
@@ -206,6 +207,7 @@ def _run_point(
         retry=retry,
         journal=journal,
         resume_from=resume,
+        tuning=tuning,
     )
     return executor.execute(plan, values, dataset_sha=dataset_sha)
 
@@ -304,6 +306,7 @@ def _sweep(
     journal: RunJournal | None = None,
     resume: JournalReplay | None = None,
     n_jobs: int | None = None,
+    tuning: Any = None,
 ) -> list[SweepPoint]:
     """Shared sweep driver: one engine plan per grid point.
 
@@ -333,7 +336,7 @@ def _sweep(
         points = _sweep_points(
             graph, parameters, make_stages, ground_truth, active,
             name, mode, retry, budgets, plan_budget, journal, resume,
-            dataset_sha,
+            dataset_sha, tuning,
         )
     return points
 
@@ -352,6 +355,7 @@ def _sweep_points(
     journal: RunJournal | None,
     resume: JournalReplay | None,
     dataset_sha: str,
+    tuning: Any = None,
 ) -> list[SweepPoint]:
     points = []
     for parameter in parameters:
@@ -383,6 +387,7 @@ def _sweep_points(
             execution = _run_point(
                 plan, graph, ground_truth, active, dataset_sha,
                 mode, retry, budgets, plan_budget, journal, resume,
+                tuning,
             )
         except ReproError as exc:
             if mode != "lenient":
@@ -427,6 +432,7 @@ def sweep_n_clusters(
     journal: RunJournal | None = None,
     resume: JournalReplay | None = None,
     n_jobs: int | None = None,
+    tuning: Any = None,
 ) -> list[SweepPoint]:
     """Avg-F / time vs requested cluster count (Figures 5, 7, 8, 9).
 
@@ -460,6 +466,7 @@ def sweep_n_clusters(
         journal=journal,
         resume=resume,
         n_jobs=n_jobs,
+        tuning=tuning,
     )
 
 
@@ -478,6 +485,7 @@ def sweep_threshold(
     journal: RunJournal | None = None,
     resume: JournalReplay | None = None,
     n_jobs: int | None = None,
+    tuning: Any = None,
 ) -> list[SweepPoint]:
     """The Table-3 study: prune threshold vs edges / Avg-F / time.
 
@@ -513,6 +521,7 @@ def sweep_threshold(
         journal=journal,
         resume=resume,
         n_jobs=n_jobs,
+        tuning=tuning,
     )
 
 
@@ -532,6 +541,7 @@ def sweep_alpha_beta(
     journal: RunJournal | None = None,
     resume: JournalReplay | None = None,
     n_jobs: int | None = None,
+    tuning: Any = None,
 ) -> list[SweepPoint]:
     """The Table-4 study: Avg-F per (α, β) configuration.
 
@@ -578,4 +588,5 @@ def sweep_alpha_beta(
         journal=journal,
         resume=resume,
         n_jobs=n_jobs,
+        tuning=tuning,
     )

@@ -115,6 +115,7 @@ class JobSpec:
     n_clusters: int | None = None
     counts: tuple[int, ...] | None = None
     mode: str = "strict"
+    tuning: str | None = None
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "JobSpec":
@@ -148,6 +149,11 @@ class JobSpec:
             raise ServiceError(
                 f"'counts' is only valid for sweep jobs, not {kind!r}"
             )
+        tuning = payload.get("tuning")
+        if tuning not in (None, "auto"):
+            raise ServiceError(
+                f"unknown tuning {tuning!r}; expected 'auto' or null"
+            )
         n_clusters = payload.get("n_clusters")
         try:
             return cls(
@@ -161,6 +167,7 @@ class JobSpec:
                 ),
                 counts=counts,
                 mode=mode,
+                tuning=tuning,
             )
         except (TypeError, ValueError) as exc:
             raise ServiceError(f"malformed job request: {exc}") from exc
@@ -175,6 +182,7 @@ class JobSpec:
             "n_clusters": self.n_clusters,
             "counts": list(self.counts) if self.counts else None,
             "mode": self.mode,
+            "tuning": self.tuning,
         }
 
 
@@ -574,6 +582,7 @@ class JobManager:
             spec.clusterer,
             threshold=spec.threshold,
             mode=spec.mode,
+            tuning=spec.tuning,
         )
         result = pipe.run(
             registered.graph,

@@ -1,0 +1,90 @@
+"""Cost-model-driven autotuning (``repro tune``).
+
+The repo records rich per-run data — ``BENCH_allpairs.json`` /
+``BENCH_scale.json`` from the bench harnesses, RunManifest JSONL run
+logs, metrics snapshots — but until this subsystem every execution
+knob (all-pairs backend, block size, shard ``n_jobs``, cache tier
+size, in-core vs. mmap storage) was hand-set. :mod:`repro.tune` closes
+the loop:
+
+- :mod:`~repro.tune.features` — the graph statistics the model
+  conditions on (n, nnz, degree skew, threshold), in log space;
+- :mod:`~repro.tune.model` — per-target ridge log-log fits persisted
+  to ``tuning/model.json`` under a versioned schema with
+  goodness-of-fit stats;
+- :mod:`~repro.tune.corpus` — extraction of (features, cost) samples
+  from the recorded run data, and the plan-quality replay that scores
+  the model against the hand-set configurations;
+- :mod:`~repro.tune.planner` — the Executor-facing decision maker:
+  ``tuning="auto"`` on a pipeline/Executor loads the persisted model
+  and auto-selects the plan, recording chosen-vs-default provenance
+  in the manifest's ``tuning`` section and the
+  ``tuning_decisions_total`` metric.
+
+See ``docs/tuning.md`` for the refit workflow (``repro tune fit``),
+plan inspection (``repro tune explain``) and how to pin a manual plan.
+"""
+
+from repro.tune.corpus import (
+    evaluate_plan_quality,
+    load_corpus,
+    samples_from_allpairs,
+    samples_from_runlog,
+    samples_from_scale,
+)
+from repro.tune.features import (
+    FEATURE_NAMES,
+    GraphFeatures,
+    degree_skew,
+    features_from_counts,
+    features_from_graph,
+)
+from repro.tune.model import (
+    DEFAULT_MODEL_PATH,
+    MODEL_PATH_ENV,
+    MODEL_SCHEMA,
+    CostModel,
+    Sample,
+    TargetFit,
+    default_model_path,
+    fit_cost_model,
+    load_model,
+    save_model,
+)
+from repro.tune.planner import (
+    BACKEND_CANDIDATES,
+    DEFAULT_BACKEND,
+    PlanDecision,
+    Planner,
+    choose_backend,
+    default_plan,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "GraphFeatures",
+    "degree_skew",
+    "features_from_graph",
+    "features_from_counts",
+    "MODEL_SCHEMA",
+    "MODEL_PATH_ENV",
+    "DEFAULT_MODEL_PATH",
+    "Sample",
+    "TargetFit",
+    "CostModel",
+    "fit_cost_model",
+    "default_model_path",
+    "load_model",
+    "save_model",
+    "samples_from_allpairs",
+    "samples_from_scale",
+    "samples_from_runlog",
+    "load_corpus",
+    "evaluate_plan_quality",
+    "DEFAULT_BACKEND",
+    "BACKEND_CANDIDATES",
+    "PlanDecision",
+    "Planner",
+    "default_plan",
+    "choose_backend",
+]

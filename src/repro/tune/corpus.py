@@ -1,0 +1,246 @@
+"""Corpus extraction: recorded run data → cost-model samples.
+
+``repro tune`` does not run new benchmarks — it *replays* what the
+repo already records on every CI run and every ``--runlog``-ed
+invocation:
+
+- ``BENCH_allpairs.json`` (:mod:`repro.perf.bench`): one timed
+  ``symmetrize`` run per (size, threshold, backend) plus MLR-MCL
+  cluster timings → targets ``"symmetrize:<backend>"`` and
+  ``"cluster:<clusterer>"``;
+- ``BENCH_scale.json`` (:mod:`repro.perf.scale_bench`): out-of-core
+  sharded symmetrize timings and peak-RSS high-water marks → targets
+  ``"symmetrize:sharded"`` and ``"peak_rss"``;
+- RunManifest JSONL run logs (:mod:`repro.obs.manifest`): pipeline
+  stage timings keyed by the recorded dataset fingerprint → targets
+  ``"symmetrize:default"`` and ``"cluster:<clusterer>"``.
+
+:func:`evaluate_plan_quality` closes the loop: it replays the
+all-pairs corpus through the fitted model's backend choice and scores
+the auto plan against the hand-set configurations actually measured —
+the fraction of points where the auto choice is within 10% of the best
+benched backend, and whether it is ever slower than the untuned
+default. Those numbers persist into the model's ``stats`` block so
+``repro tune show`` can answer "should I trust this model?" without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import TuningError
+from repro.tune.features import features_from_counts
+from repro.tune.model import CostModel, Sample
+
+__all__ = [
+    "samples_from_allpairs",
+    "samples_from_scale",
+    "samples_from_runlog",
+    "load_corpus",
+    "evaluate_plan_quality",
+]
+
+
+def _require_schema(
+    results: Mapping[str, Any], prefix: str, what: str
+) -> None:
+    schema = results.get("schema")
+    if not isinstance(schema, str) or not schema.startswith(prefix):
+        raise TuningError(
+            f"{what} has schema {schema!r}; expected {prefix}*"
+        )
+
+
+def samples_from_allpairs(
+    results: Mapping[str, Any],
+) -> list[Sample]:
+    """Samples from a ``BENCH_allpairs.json`` results dict."""
+    _require_schema(
+        results, "repro-bench-allpairs/", "all-pairs bench corpus"
+    )
+    samples: list[Sample] = []
+    for run in results.get("runs", []):
+        try:
+            target = f"{run['kind']}:{run['backend']}"
+            features = features_from_counts(
+                run["n_nodes"],
+                run["n_edges"],
+                run["threshold"],
+            )
+            value = float(run["seconds"])
+        except (KeyError, TypeError, ValueError):
+            continue  # tolerate partial records from older schemas
+        samples.append(Sample(target, features, value))
+    return samples
+
+
+def samples_from_scale(results: Mapping[str, Any]) -> list[Sample]:
+    """Samples from a ``BENCH_scale.json`` results dict."""
+    _require_schema(
+        results, "repro-bench-scale/", "scale bench corpus"
+    )
+    samples: list[Sample] = []
+    for point in results.get("points", []):
+        try:
+            features = features_from_counts(
+                point["n_nodes"],
+                point["n_edges"],
+                point["threshold"],
+            )
+            seconds = float(point["symmetrize_seconds"])
+            peak = float(
+                max(
+                    point.get("peak_rss_bytes", 0),
+                    point.get("peak_rss_children_bytes", 0),
+                )
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+        samples.append(Sample("symmetrize:sharded", features, seconds))
+        if peak > 0:
+            samples.append(Sample("peak_rss", features, peak))
+    return samples
+
+
+def samples_from_runlog(path: str | Path) -> list[Sample]:
+    """Samples from a RunManifest JSONL run log (pipeline runs)."""
+    from repro.obs.manifest import read_manifests
+
+    samples: list[Sample] = []
+    for manifest in read_manifests(path):
+        if manifest.kind != "pipeline":
+            continue
+        dataset = manifest.dataset
+        n_nodes = dataset.get("n_nodes")
+        nnz = dataset.get("nnz")
+        if not n_nodes or not nnz:
+            continue
+        features = features_from_counts(
+            n_nodes,
+            nnz,
+            float(manifest.config.get("threshold", 0.0) or 0.0),
+        )
+        t_sym = manifest.timings.get("symmetrize_seconds")
+        if t_sym is not None and t_sym > 0:
+            samples.append(
+                Sample("symmetrize:default", features, float(t_sym))
+            )
+        t_cluster = manifest.timings.get("cluster_seconds")
+        clusterer = manifest.config.get("clusterer")
+        if t_cluster is not None and t_cluster > 0 and clusterer:
+            samples.append(
+                Sample(
+                    f"cluster:{clusterer}", features, float(t_cluster)
+                )
+            )
+    return samples
+
+
+def load_corpus(
+    allpairs_path: str | Path | None = None,
+    scale_path: str | Path | None = None,
+    runlog_paths: tuple[str | Path, ...] = (),
+) -> tuple[list[Sample], list[str], dict[str, Any] | None]:
+    """Gather samples from every corpus source that exists.
+
+    Returns ``(samples, sources, allpairs_results)`` — the parsed
+    all-pairs dict rides along so the caller can feed it straight to
+    :func:`evaluate_plan_quality` without re-reading the file. Missing
+    files are skipped; an entirely empty corpus is a
+    :class:`TuningError`.
+    """
+    samples: list[Sample] = []
+    sources: list[str] = []
+    allpairs_results: dict[str, Any] | None = None
+    if allpairs_path is not None and Path(allpairs_path).exists():
+        allpairs_results = json.loads(Path(allpairs_path).read_text())
+        samples.extend(samples_from_allpairs(allpairs_results))
+        sources.append(str(allpairs_path))
+    if scale_path is not None and Path(scale_path).exists():
+        samples.extend(
+            samples_from_scale(
+                json.loads(Path(scale_path).read_text())
+            )
+        )
+        sources.append(str(scale_path))
+    for runlog in runlog_paths:
+        if Path(runlog).exists():
+            samples.extend(samples_from_runlog(runlog))
+            sources.append(str(runlog))
+    if not samples:
+        raise TuningError(
+            "no cost-model samples found; pass an existing "
+            "BENCH_allpairs.json / BENCH_scale.json / --runlog file"
+        )
+    return samples, sources, allpairs_results
+
+
+def evaluate_plan_quality(
+    model: CostModel,
+    allpairs_results: Mapping[str, Any],
+    tolerance: float = 0.10,
+) -> dict[str, Any]:
+    """Replay the all-pairs corpus through the model's backend choice.
+
+    For every (size, threshold) point with at least two benched
+    backends, the auto plan's cost is the *measured* seconds of the
+    backend the model would choose there. The acceptance bar: within
+    ``tolerance`` of the best hand-set backend on ≥ 80% of points and
+    never slower than the untuned default backend.
+    """
+    from repro.tune.planner import DEFAULT_BACKEND, choose_backend
+
+    by_point: dict[tuple[int, float], dict[str, float]] = {}
+    for run in allpairs_results.get("runs", []):
+        if run.get("kind") != "symmetrize":
+            continue
+        key = (int(run["n_nodes"]), float(run["threshold"]))
+        by_point.setdefault(key, {})[run["backend"]] = float(
+            run["seconds"]
+        )
+        by_point[key].setdefault("_nnz", float(run["n_edges"]))
+
+    n_points = 0
+    within = 0
+    worse_than_default = 0
+    details: list[dict[str, Any]] = []
+    for (n_nodes, threshold), timed in sorted(by_point.items()):
+        nnz = int(timed.pop("_nnz", 0))
+        if len(timed) < 2 or DEFAULT_BACKEND not in timed:
+            continue
+        features = features_from_counts(n_nodes, nnz, threshold)
+        chosen, _, _ = choose_backend(model, features)
+        if chosen not in timed:
+            chosen = DEFAULT_BACKEND
+        chosen_s = timed[chosen]
+        best_s = min(timed.values())
+        default_s = timed[DEFAULT_BACKEND]
+        n_points += 1
+        ok = chosen_s <= best_s * (1.0 + tolerance)
+        within += int(ok)
+        worse_than_default += int(chosen_s > default_s)
+        details.append(
+            {
+                "n_nodes": n_nodes,
+                "threshold": threshold,
+                "chosen": chosen,
+                "chosen_seconds": chosen_s,
+                "best_seconds": best_s,
+                "default_seconds": default_s,
+                "within_tolerance": ok,
+            }
+        )
+    fraction = within / n_points if n_points else 1.0
+    return {
+        "tolerance": tolerance,
+        "n_points": n_points,
+        "within_tolerance": within,
+        "within_tolerance_fraction": fraction,
+        "worse_than_default": worse_than_default,
+        "passed": n_points == 0
+        or (fraction >= 0.8 and worse_than_default == 0),
+        "points": details,
+    }

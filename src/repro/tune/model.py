@@ -1,0 +1,294 @@
+"""The fitted cost model and its versioned on-disk form.
+
+A :class:`CostModel` maps (target, :class:`~repro.tune.features.
+GraphFeatures`) to a predicted cost — wall seconds for stage targets
+like ``"symmetrize:vectorized"`` or ``"cluster:mlrmcl"``, bytes for
+``"peak_rss"``. Each target is an independent log-log linear fit: with
+design rows :math:`x` from :meth:`GraphFeatures.vector` and observed
+costs :math:`y`, we solve the ridge system
+
+.. math:: (X^T X + \\lambda I)\\,w = X^T \\log y
+
+and predict :math:`\\exp(x \\cdot w)`. Power laws in n/nnz/skew/
+threshold are the natural family for these kernels, the fit is a
+50-line closed form on numpy (no new dependencies), and it behaves
+sanely on the tiny smoke corpus (one sample per target) because the
+ridge term keeps the system well-posed.
+
+The model persists to ``tuning/model.json`` under the versioned schema
+:data:`MODEL_SCHEMA` together with goodness-of-fit stats (log-space
+R², sample counts) and the plan-quality evaluation from ``repro tune``
+(see :func:`repro.tune.corpus.evaluate_plan_quality`). Loading follows
+the :mod:`repro.validate` taxonomy: a corrupt or unsupported file is a
+typed :class:`~repro.exceptions.TuningError` on the strict path and a
+warned fallback to defaults (:class:`~repro.exceptions.RepairWarning`,
+code ``"tuning_model_invalid"``) on the lenient path. A *missing*
+model file is not an error — it simply means nothing has been fitted
+yet and the planner uses the hand-set defaults.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import RepairWarning, TuningError
+from repro.tune.features import FEATURE_NAMES, GraphFeatures
+
+__all__ = [
+    "MODEL_SCHEMA",
+    "SUPPORTED_MODEL_SCHEMAS",
+    "MODEL_PATH_ENV",
+    "DEFAULT_MODEL_PATH",
+    "Sample",
+    "TargetFit",
+    "CostModel",
+    "fit_cost_model",
+    "default_model_path",
+    "load_model",
+    "save_model",
+]
+
+#: Schema identifier embedded in ``tuning/model.json``; bump on
+#: breaking changes to the JSON shape.
+MODEL_SCHEMA = "repro-tune-model/v1"
+
+#: Schemas :meth:`CostModel.from_dict` can still read.
+SUPPORTED_MODEL_SCHEMAS = (MODEL_SCHEMA,)
+
+#: Environment override for the model location (used by CI smokes and
+#: tests to point a pipeline at a freshly fitted model).
+MODEL_PATH_ENV = "REPRO_TUNE_MODEL"
+
+#: Default model location, relative to the working directory.
+DEFAULT_MODEL_PATH = "tuning/model.json"
+
+#: Ridge regularization strength. Large enough to keep single-sample
+#: targets well-posed, small enough not to bias a real corpus.
+_RIDGE_LAMBDA = 1e-3
+
+#: Cost floor: observed seconds/bytes are clipped here before the log.
+_MIN_COST = 1e-9
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One observed (target, features, cost) triple from the corpus."""
+
+    target: str
+    features: GraphFeatures
+    value: float
+
+
+@dataclass(frozen=True)
+class TargetFit:
+    """The fitted coefficients and fit quality for one target."""
+
+    coef: tuple[float, ...]
+    r2: float
+    n_samples: int
+
+    def predict(self, features: GraphFeatures) -> float:
+        log_cost = float(
+            np.dot(np.asarray(self.coef), features.vector())
+        )
+        # Clamp the exponent so a wild extrapolation can't overflow.
+        return math.exp(min(log_cost, 700.0))
+
+
+@dataclass
+class CostModel:
+    """Per-target log-log fits plus provenance/quality stats."""
+
+    targets: dict[str, TargetFit] = field(default_factory=dict)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def can_predict(self, target: str) -> bool:
+        return target in self.targets
+
+    def predict(
+        self, target: str, features: GraphFeatures
+    ) -> float | None:
+        """Predicted cost for ``target``, or None if never fitted."""
+        fit = self.targets.get(target)
+        if fit is None:
+            return None
+        return fit.predict(features)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": MODEL_SCHEMA,
+            "features": list(FEATURE_NAMES),
+            "targets": {
+                name: {
+                    "coef": [float(c) for c in fit.coef],
+                    "r2": float(fit.r2),
+                    "n_samples": int(fit.n_samples),
+                }
+                for name, fit in sorted(self.targets.items())
+            },
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CostModel":
+        """Rebuild a model from :meth:`as_dict` output (validating).
+
+        Raises :class:`TuningError` on any shape violation; callers
+        that want the lenient warned-fallback path go through
+        :func:`load_model`.
+        """
+        if not isinstance(payload, Mapping):
+            raise TuningError("cost model payload is not an object")
+        schema = payload.get("schema")
+        if schema not in SUPPORTED_MODEL_SCHEMAS:
+            raise TuningError(
+                f"unsupported cost-model schema {schema!r}; "
+                f"expected one of {SUPPORTED_MODEL_SCHEMAS}"
+            )
+        feature_names = payload.get("features")
+        if list(feature_names or ()) != list(FEATURE_NAMES):
+            raise TuningError(
+                f"cost model was fitted against features "
+                f"{feature_names!r}, not {list(FEATURE_NAMES)!r}"
+            )
+        raw_targets = payload.get("targets")
+        if not isinstance(raw_targets, Mapping):
+            raise TuningError("cost model has no 'targets' mapping")
+        targets: dict[str, TargetFit] = {}
+        for name, entry in raw_targets.items():
+            if not isinstance(entry, Mapping):
+                raise TuningError(
+                    f"cost-model target {name!r} is not an object"
+                )
+            coef = entry.get("coef")
+            if (
+                not isinstance(coef, (list, tuple))
+                or len(coef) != len(FEATURE_NAMES)
+                or not all(
+                    isinstance(c, (int, float))
+                    and not isinstance(c, bool)
+                    and math.isfinite(float(c))
+                    for c in coef
+                )
+            ):
+                raise TuningError(
+                    f"cost-model target {name!r} needs "
+                    f"{len(FEATURE_NAMES)} finite coefficients"
+                )
+            targets[name] = TargetFit(
+                coef=tuple(float(c) for c in coef),
+                r2=float(entry.get("r2", 0.0)),
+                n_samples=int(entry.get("n_samples", 0)),
+            )
+        stats = payload.get("stats", {})
+        if not isinstance(stats, Mapping):
+            raise TuningError("cost-model 'stats' is not an object")
+        return cls(targets=targets, stats=dict(stats))
+
+
+def fit_cost_model(
+    samples: Iterable[Sample],
+    sources: Iterable[str] = (),
+) -> CostModel:
+    """Fit one ridge log-log regression per distinct sample target."""
+    by_target: dict[str, list[Sample]] = {}
+    for sample in samples:
+        by_target.setdefault(sample.target, []).append(sample)
+    if not by_target:
+        raise TuningError(
+            "cannot fit a cost model from an empty corpus"
+        )
+    targets: dict[str, TargetFit] = {}
+    for name, group in by_target.items():
+        x = np.stack([s.features.vector() for s in group])
+        y = np.log(
+            np.clip(
+                np.array([s.value for s in group], dtype=np.float64),
+                _MIN_COST,
+                None,
+            )
+        )
+        gram = x.T @ x + _RIDGE_LAMBDA * np.eye(x.shape[1])
+        coef = np.linalg.solve(gram, x.T @ y)
+        predicted = x @ coef
+        ss_res = float(np.sum((y - predicted) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        targets[name] = TargetFit(
+            coef=tuple(float(c) for c in coef),
+            r2=r2,
+            n_samples=len(group),
+        )
+    return CostModel(
+        targets=targets,
+        stats={
+            "created_unix": time.time(),
+            "n_samples": sum(len(g) for g in by_target.values()),
+            "sources": list(sources),
+        },
+    )
+
+
+def default_model_path() -> Path:
+    """``$REPRO_TUNE_MODEL`` or ``tuning/model.json``."""
+    return Path(os.environ.get(MODEL_PATH_ENV, DEFAULT_MODEL_PATH))
+
+
+def save_model(model: CostModel, path: str | Path | None = None) -> Path:
+    """Serialize ``model`` to ``path`` (default: the standard spot)."""
+    out = Path(path) if path is not None else default_model_path()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(model.as_dict(), indent=2, sort_keys=False) + "\n"
+    )
+    return out
+
+
+def load_model(
+    path: str | Path | None = None, strict: bool = True
+) -> CostModel | None:
+    """Load a persisted model; the robustness contract lives here.
+
+    - Missing file → ``None`` silently (nothing fitted yet; the
+      planner falls back to the hand-set defaults).
+    - Corrupt JSON / unsupported schema / malformed coefficients →
+      :class:`TuningError` when ``strict``, else a
+      :class:`RepairWarning` (code ``"tuning_model_invalid"``) and
+      ``None`` — the lenient run proceeds on defaults.
+    """
+    source = Path(path) if path is not None else default_model_path()
+    if not source.exists():
+        return None
+    try:
+        payload = json.loads(source.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return _reject(source, f"unreadable JSON ({exc})", strict)
+    try:
+        return CostModel.from_dict(payload)
+    except TuningError as exc:
+        return _reject(source, str(exc), strict)
+
+
+def _reject(
+    source: Path, reason: str, strict: bool
+) -> CostModel | None:
+    message = f"cost model {source} is invalid: {reason}"
+    if strict:
+        raise TuningError(message)
+    warnings.warn(
+        RepairWarning(
+            message + "; falling back to the default plan",
+            code="tuning_model_invalid",
+        ),
+        stacklevel=3,
+    )
+    return None

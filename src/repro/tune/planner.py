@@ -1,0 +1,248 @@
+"""The planner: cost model + graph features → an execution plan.
+
+A :class:`PlanDecision` is the autotuner's answer for one run: which
+all-pairs backend to use, the row-block size, the shard worker count,
+in-core vs. memory-mapped storage, and how large a memory-tier
+artifact cache to install. Decisions are *execution strategy, not
+output identity* — every knob here is proven output-invariant by the
+engine's differential tests (backend oracle, shard-vs-monolithic
+byte identity), which is why they deliberately do **not** enter stage
+fingerprints or artifact keys: a tuned run can still hit artifacts a
+hand-configured run cached.
+
+Choice logic, in order of authority:
+
+- **backend** — model-driven argmin over the predicted
+  ``symmetrize:<backend>`` seconds, with hysteresis: deviate from the
+  default (``vectorized``) only when the alternative is predicted at
+  least 10% faster, so a noisy model can never pick a plan worse than
+  the hand-set default by more than its own prediction error on a
+  regime the default already wins.
+- **storage** — :func:`repro.linalg.choose_storage`'s working-set
+  estimate against the 2 GiB resident budget.
+- **block size / n_jobs / cache bytes** — deterministic functions of
+  the graph shape, mirroring the hand-tuned values the bench
+  harnesses converged on (512-row blocks in core, 4096-row shard
+  blocks out of core).
+
+Every decision increments the ``tuning_decisions_total`` metric and
+serializes into the manifest's v4 ``tuning`` section with full
+chosen-vs-default provenance.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.linalg.allpairs import DEFAULT_BLOCK_SIZE
+from repro.linalg.mmcsr import choose_storage
+from repro.obs.metrics import metric_inc
+from repro.tune.features import GraphFeatures, features_from_graph
+from repro.tune.model import CostModel, load_model
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "BACKEND_CANDIDATES",
+    "HYSTERESIS",
+    "PlanDecision",
+    "Planner",
+    "default_plan",
+    "choose_backend",
+]
+
+#: The hand-set default backend (the production engine since PR 1).
+DEFAULT_BACKEND = "vectorized"
+
+#: Backends the planner may choose between.
+BACKEND_CANDIDATES = ("vectorized", "python")
+
+#: Deviate from the default only when predicted at least this much
+#: faster (ratio of predicted seconds, alternative / default).
+HYSTERESIS = 0.9
+
+#: nnz above which the shard fan-out is worth its process overhead.
+_PARALLEL_NNZ_FLOOR = 2_000_000
+
+#: Memory-tier cache sizing bounds.
+_CACHE_MIN_BYTES = 64 * 1024**2
+_CACHE_MAX_BYTES = 1024**3
+
+#: Artifacts the cache should be able to hold (one symmetrized graph
+#: per sweep threshold is the common reuse pattern).
+_CACHE_ARTIFACTS = 8
+
+
+def default_plan() -> dict[str, Any]:
+    """The knobs an untuned run effectively uses."""
+    return {
+        "backend": DEFAULT_BACKEND,
+        "block_size": DEFAULT_BLOCK_SIZE,
+        "n_jobs": None,
+        "storage": "in_core",
+        "cache_max_bytes": None,
+    }
+
+
+def choose_backend(
+    model: CostModel | None, features: GraphFeatures
+) -> tuple[str, dict[str, float], str]:
+    """(backend, per-backend predicted seconds, decision source)."""
+    predicted: dict[str, float] = {}
+    if model is not None:
+        for backend in BACKEND_CANDIDATES:
+            seconds = model.predict(
+                f"symmetrize:{backend}", features
+            )
+            if seconds is not None:
+                predicted[backend] = seconds
+    if DEFAULT_BACKEND not in predicted or len(predicted) < 2:
+        # Without a usable model (or with only one backend fitted)
+        # there is nothing to argmin over: keep the default.
+        source = "model" if predicted else "default"
+        return DEFAULT_BACKEND, predicted, source
+    best = min(predicted, key=lambda b: predicted[b])
+    if (
+        best != DEFAULT_BACKEND
+        and predicted[best] >= HYSTERESIS * predicted[DEFAULT_BACKEND]
+    ):
+        best = DEFAULT_BACKEND
+    return best, predicted, "model"
+
+
+def _choose_block_size(features: GraphFeatures, storage: str) -> int:
+    if storage == "mmcsr":
+        return 4096  # the scale bench's shard block
+    if features.n_nodes >= 50_000:
+        return 2048
+    return DEFAULT_BLOCK_SIZE
+
+
+def _choose_n_jobs(
+    features: GraphFeatures, storage: str
+) -> int | None:
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        return None
+    if storage == "mmcsr" or features.nnz >= _PARALLEL_NNZ_FLOOR:
+        return min(4, cores)
+    return None
+
+
+def _choose_cache_bytes(features: GraphFeatures) -> int:
+    # A symmetrized CSR artifact is ~16 bytes/nonzero (float64 data +
+    # int32/64 indices); budget room for a sweep's worth of them.
+    artifact = features.nnz * 16
+    return int(
+        min(
+            max(artifact * _CACHE_ARTIFACTS, _CACHE_MIN_BYTES),
+            _CACHE_MAX_BYTES,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One auto-tuned execution plan, with provenance."""
+
+    backend: str
+    block_size: int
+    n_jobs: int | None
+    storage: str
+    cache_max_bytes: int | None
+    source: str
+    predicted_seconds: dict[str, float] = field(default_factory=dict)
+    predicted_peak_bytes: float | None = None
+    features: dict[str, Any] = field(default_factory=dict)
+
+    def chosen(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "block_size": self.block_size,
+            "n_jobs": self.n_jobs,
+            "storage": self.storage,
+            "cache_max_bytes": self.cache_max_bytes,
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        """The manifest v4 ``tuning`` section for this decision."""
+        return {
+            "enabled": True,
+            "source": self.source,
+            "chosen": self.chosen(),
+            "default": default_plan(),
+            "predicted_seconds": dict(self.predicted_seconds),
+            "predicted_peak_bytes": self.predicted_peak_bytes,
+            "features": dict(self.features),
+        }
+
+
+class Planner:
+    """Loads the persisted cost model and makes plan decisions.
+
+    Parameters
+    ----------
+    model:
+        An in-memory :class:`CostModel`, bypassing disk entirely.
+    model_path:
+        Where to load the persisted model from (default:
+        ``$REPRO_TUNE_MODEL`` or ``tuning/model.json``). A missing
+        file is fine — decisions then fall back to the defaults.
+    mode:
+        ``"strict"`` raises :class:`~repro.exceptions.TuningError` on
+        a corrupt model file; ``"lenient"`` warns (code
+        ``"tuning_model_invalid"``) and proceeds on defaults.
+    """
+
+    def __init__(
+        self,
+        model: CostModel | None = None,
+        model_path: str | Path | None = None,
+        mode: str = "strict",
+    ) -> None:
+        self.mode = mode
+        self.model_path = model_path
+        self._model = model
+        self._loaded = model is not None
+
+    @property
+    def model(self) -> CostModel | None:
+        if not self._loaded:
+            self._model = load_model(
+                self.model_path, strict=self.mode == "strict"
+            )
+            self._loaded = True
+        return self._model
+
+    def decide(self, graph: Any, threshold: float) -> PlanDecision:
+        """Plan for a live graph at a given prune threshold."""
+        return self.decide_from_features(
+            features_from_graph(graph, threshold)
+        )
+
+    def decide_from_features(
+        self, features: GraphFeatures
+    ) -> PlanDecision:
+        model = self.model
+        backend, predicted, source = choose_backend(model, features)
+        storage = choose_storage(features.n_nodes, features.nnz)
+        peak = (
+            model.predict("peak_rss", features)
+            if model is not None
+            else None
+        )
+        decision = PlanDecision(
+            backend=backend,
+            block_size=_choose_block_size(features, storage),
+            n_jobs=_choose_n_jobs(features, storage),
+            storage=storage,
+            cache_max_bytes=_choose_cache_bytes(features),
+            source=source,
+            predicted_seconds=predicted,
+            predicted_peak_bytes=peak,
+            features=features.as_dict(),
+        )
+        metric_inc("tuning_decisions_total")
+        return decision

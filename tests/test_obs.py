@@ -326,6 +326,32 @@ def _synthetic_manifest(**overrides) -> RunManifest:
             "stage_retries": 1,
             "stages_resumed": 0,
         },
+        tuning={
+            "enabled": True,
+            "source": "model",
+            "chosen": {
+                "backend": "vectorized",
+                "block_size": 512,
+                "n_jobs": None,
+                "storage": "in_core",
+                "cache_max_bytes": 67108864,
+            },
+            "default": {
+                "backend": "vectorized",
+                "block_size": 512,
+                "n_jobs": None,
+                "storage": "in_core",
+                "cache_max_bytes": None,
+            },
+            "predicted_seconds": {"vectorized": 0.25, "python": 2.5},
+            "predicted_peak_bytes": None,
+            "features": {
+                "n_nodes": 400,
+                "nnz": 2000,
+                "threshold": 0.05,
+                "degree_skew": 1.0,
+            },
+        },
         timings={"symmetrize_seconds": 0.5, "cluster_seconds": 1.0},
     )
     base.update(overrides)

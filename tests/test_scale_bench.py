@@ -11,6 +11,7 @@ test runs the real ~50k smoke configuration under a wall/memory
 
 import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -24,6 +25,7 @@ from repro.perf.scale_bench import (
     format_scale_summary,
     run_scale_bench,
     scale_manifest,
+    scale_smoke_enabled,
 )
 
 
@@ -156,7 +158,7 @@ class TestScaleBenchCli:
 
 @pytest.mark.scale_smoke
 @pytest.mark.skipif(
-    os.environ.get("REPRO_SCALE_SMOKE") != "1",
+    not scale_smoke_enabled(),
     reason="minutes-scale; run via `make scale-smoke` "
     "(REPRO_SCALE_SMOKE=1)",
 )
@@ -170,7 +172,12 @@ def test_scale_smoke_under_budget(tmp_path):
     with meter:
         results = run_scale_bench(smoke=True)
     meter.enforce()
-    path = write_bench(results, tmp_path / "BENCH_scale.json")
+    # CI points REPRO_SCALE_BENCH_OUT at the workspace so the smoke's
+    # BENCH_scale.json can be uploaded as a trajectory artifact.
+    out = os.environ.get("REPRO_SCALE_BENCH_OUT")
+    path = write_bench(
+        results, Path(out) if out else tmp_path / "BENCH_scale.json"
+    )
     loaded = json.loads(path.read_text())
     assert loaded["config"]["smoke"] is True
     assert loaded["points"][0]["n_nodes"] == 50_000

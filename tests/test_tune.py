@@ -1,0 +1,507 @@
+"""Tests for :mod:`repro.tune` — the cost-model autotuner.
+
+Covers the four layers end-to-end: feature extraction, the ridge
+log-log fit and its versioned persistence (including the corrupt/
+old-schema robustness contract), corpus extraction + the plan-quality
+replay, and the planner's integration with the Executor/pipeline
+(``tuning="auto"``) — where the acceptance bar is *identical outputs*
+with full chosen-vs-default provenance in the v4 manifest.
+"""
+
+import json
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PipelineError, RepairWarning, TuningError
+from repro.graph.generators import power_law_digraph
+from repro.obs.manifest import MANIFEST_SCHEMA
+from repro.obs.metrics import MetricsRegistry, metrics_active
+from repro.pipeline.pipeline import SymmetrizeClusterPipeline
+from repro.tune import (
+    FEATURE_NAMES,
+    MODEL_SCHEMA,
+    CostModel,
+    Planner,
+    Sample,
+    choose_backend,
+    default_plan,
+    degree_skew,
+    evaluate_plan_quality,
+    features_from_counts,
+    features_from_graph,
+    fit_cost_model,
+    load_corpus,
+    load_model,
+    samples_from_allpairs,
+    samples_from_scale,
+    save_model,
+)
+from repro.tune.model import MODEL_PATH_ENV
+
+
+def _graph(n=300, seed=0):
+    return power_law_digraph(n, np.random.default_rng(seed))
+
+
+def _power_law_samples(target, coef_n=2.0, scale=1e-6):
+    """Synthetic samples following ``scale * n^coef_n`` exactly."""
+    samples = []
+    for n in (1000, 2000, 4000, 8000, 16000):
+        features = features_from_counts(n, 8 * n, 0.25)
+        samples.append(Sample(target, features, scale * n**coef_n))
+    return samples
+
+
+class TestFeatures:
+    def test_degree_skew_uniform_is_one(self):
+        assert degree_skew(np.full(100, 7.0)) == pytest.approx(1.0)
+
+    def test_degree_skew_hub_exceeds_one(self):
+        degrees = np.ones(100)
+        degrees[0] = 1000.0
+        assert degree_skew(degrees) > 10.0
+
+    def test_degree_skew_empty_is_one(self):
+        assert degree_skew(np.array([])) == 1.0
+
+    def test_vector_matches_feature_names(self):
+        features = features_from_counts(100, 500, 0.5, skew=2.0)
+        vec = features.vector()
+        assert vec.shape == (len(FEATURE_NAMES),)
+        assert vec[0] == 1.0
+        assert vec[1] == pytest.approx(math.log(100))
+        assert vec[2] == pytest.approx(math.log(500))
+        assert vec[3] == pytest.approx(math.log(2.0))
+        assert vec[4] == pytest.approx(math.log(2.0))  # log(1/0.5)
+
+    def test_zero_threshold_is_floored_not_infinite(self):
+        vec = features_from_counts(10, 10, 0.0).vector()
+        assert np.isfinite(vec).all()
+
+    def test_features_from_graph_uses_in_degrees(self):
+        graph = _graph()
+        features = features_from_graph(graph, 0.1)
+        assert features.n_nodes == graph.n_nodes
+        assert features.nnz == graph.adjacency.nnz
+        assert features.degree_skew == pytest.approx(
+            degree_skew(graph.in_degrees())
+        )
+
+
+class TestCostModel:
+    def test_fit_recovers_power_law(self):
+        model = fit_cost_model(_power_law_samples("symmetrize:vectorized"))
+        fit = model.targets["symmetrize:vectorized"]
+        assert fit.r2 > 0.99
+        predicted = model.predict(
+            "symmetrize:vectorized",
+            features_from_counts(6000, 48000, 0.25),
+        )
+        assert predicted == pytest.approx(1e-6 * 6000**2, rel=0.15)
+
+    def test_single_sample_stays_well_posed(self):
+        features = features_from_counts(2000, 16000, 0.5)
+        model = fit_cost_model([Sample("cluster:mlrmcl", features, 0.8)])
+        predicted = model.predict("cluster:mlrmcl", features)
+        assert predicted is not None and np.isfinite(predicted)
+
+    def test_unknown_target_predicts_none(self):
+        model = fit_cost_model(_power_law_samples("symmetrize:python"))
+        assert not model.can_predict("peak_rss")
+        assert model.predict("peak_rss", features_from_counts(1, 1, 0)) is None
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(TuningError):
+            fit_cost_model([])
+
+    def test_save_load_round_trip(self, tmp_path):
+        model = fit_cost_model(
+            _power_law_samples("symmetrize:vectorized"),
+            sources=["test"],
+        )
+        path = save_model(model, tmp_path / "tuning" / "model.json")
+        reloaded = load_model(path)
+        assert reloaded is not None
+        assert reloaded.as_dict() == model.as_dict()
+        assert json.loads(path.read_text())["schema"] == MODEL_SCHEMA
+
+    def test_missing_file_is_silently_none(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_model(tmp_path / "nope.json") is None
+
+    def test_env_var_overrides_default_path(self, tmp_path, monkeypatch):
+        model = fit_cost_model(_power_law_samples("symmetrize:python"))
+        path = tmp_path / "custom.json"
+        save_model(model, path)
+        monkeypatch.setenv(MODEL_PATH_ENV, str(path))
+        reloaded = load_model()
+        assert reloaded is not None
+        assert reloaded.as_dict() == model.as_dict()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json at all {",
+            json.dumps({"schema": "repro-tune-model/v0", "targets": {}}),
+            json.dumps(
+                {
+                    "schema": MODEL_SCHEMA,
+                    "features": list(FEATURE_NAMES),
+                    "targets": {"symmetrize:vectorized": {"coef": [1.0]}},
+                }
+            ),
+            json.dumps(
+                {
+                    "schema": MODEL_SCHEMA,
+                    "features": ["wrong", "features"],
+                    "targets": {},
+                }
+            ),
+            json.dumps([1, 2, 3]),
+        ],
+        ids=[
+            "corrupt-json",
+            "old-schema",
+            "short-coef",
+            "wrong-features",
+            "non-object",
+        ],
+    )
+    def test_invalid_model_strict_raises(self, tmp_path, payload):
+        path = tmp_path / "model.json"
+        path.write_text(payload)
+        with pytest.raises(TuningError):
+            load_model(path, strict=True)
+
+    def test_invalid_model_lenient_warns_and_defaults(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("not json {")
+        with pytest.warns(RepairWarning) as caught:
+            assert load_model(path, strict=False) is None
+        assert caught[0].message.code == "tuning_model_invalid"
+
+    def test_nan_coefficients_rejected(self):
+        with pytest.raises(TuningError):
+            CostModel.from_dict(
+                {
+                    "schema": MODEL_SCHEMA,
+                    "features": list(FEATURE_NAMES),
+                    "targets": {
+                        "symmetrize:vectorized": {
+                            "coef": [float("nan")] * len(FEATURE_NAMES),
+                        }
+                    },
+                }
+            )
+
+
+def _allpairs_corpus(vectorized=0.1, python=1.0):
+    runs = []
+    for n, t in ((2000, 0.25), (4000, 0.5)):
+        for backend, base in (
+            ("vectorized", vectorized),
+            ("python", python),
+        ):
+            runs.append(
+                {
+                    "kind": "symmetrize",
+                    "backend": backend,
+                    "n_nodes": n,
+                    "n_edges": 8 * n,
+                    "threshold": t,
+                    "seconds": base * (n / 2000),
+                    "edges_out": n,
+                }
+            )
+    runs.append(
+        {
+            "kind": "cluster",
+            "backend": "mlrmcl",
+            "n_nodes": 2000,
+            "n_edges": 16000,
+            "threshold": 0.25,
+            "seconds": 0.5,
+            "edges_out": 2000,
+        }
+    )
+    return {"schema": "repro-bench-allpairs/v3", "runs": runs}
+
+
+class TestCorpus:
+    def test_samples_from_allpairs_targets(self):
+        samples = samples_from_allpairs(_allpairs_corpus())
+        targets = {s.target for s in samples}
+        assert targets == {
+            "symmetrize:vectorized",
+            "symmetrize:python",
+            "cluster:mlrmcl",
+        }
+
+    def test_allpairs_schema_mismatch_raises(self):
+        with pytest.raises(TuningError):
+            samples_from_allpairs({"schema": "something-else/v1"})
+
+    def test_samples_from_scale(self):
+        results = {
+            "schema": "repro-bench-scale/v1",
+            "points": [
+                {
+                    "n_nodes": 50000,
+                    "n_edges": 400000,
+                    "threshold": 0.5,
+                    "symmetrize_seconds": 12.0,
+                    "peak_rss_bytes": 3 * 10**8,
+                    "peak_rss_children_bytes": 10**8,
+                }
+            ],
+        }
+        samples = samples_from_scale(results)
+        by_target = {s.target: s.value for s in samples}
+        assert by_target["symmetrize:sharded"] == 12.0
+        assert by_target["peak_rss"] == 3 * 10**8
+
+    def test_load_corpus_empty_raises(self, tmp_path):
+        with pytest.raises(TuningError):
+            load_corpus(tmp_path / "a.json", tmp_path / "b.json")
+
+    def test_load_corpus_reads_files(self, tmp_path):
+        allpairs = tmp_path / "BENCH_allpairs.json"
+        allpairs.write_text(json.dumps(_allpairs_corpus()))
+        samples, sources, results = load_corpus(allpairs, None)
+        assert len(samples) == 5
+        assert sources == [str(allpairs)]
+        assert results["schema"].startswith("repro-bench-allpairs/")
+
+    def test_plan_quality_passes_on_clean_corpus(self):
+        corpus = _allpairs_corpus()
+        model = fit_cost_model(samples_from_allpairs(corpus))
+        quality = evaluate_plan_quality(model, corpus)
+        assert quality["n_points"] == 2
+        assert quality["passed"] is True
+        assert quality["worse_than_default"] == 0
+
+    def test_plan_quality_never_worse_than_default(self):
+        # Even with python measured faster, the hysteresis keeps the
+        # choice from being *worse* than the default.
+        corpus = _allpairs_corpus(vectorized=1.0, python=0.95)
+        model = fit_cost_model(samples_from_allpairs(corpus))
+        quality = evaluate_plan_quality(model, corpus)
+        assert quality["worse_than_default"] == 0
+
+
+class TestPlanner:
+    def test_no_model_keeps_default_backend(self):
+        backend, predicted, source = choose_backend(
+            None, features_from_counts(1000, 8000, 0.5)
+        )
+        assert backend == default_plan()["backend"]
+        assert predicted == {}
+        assert source == "default"
+
+    def test_model_picks_clearly_faster_backend(self):
+        corpus = _allpairs_corpus(vectorized=0.1, python=10.0)
+        model = fit_cost_model(samples_from_allpairs(corpus))
+        backend, predicted, source = choose_backend(
+            model, features_from_counts(3000, 24000, 0.25)
+        )
+        assert backend == "vectorized"
+        assert source == "model"
+        assert set(predicted) == {"vectorized", "python"}
+
+    def test_hysteresis_blocks_marginal_deviation(self):
+        features = features_from_counts(1000, 8000, 0.5)
+        # Hand-build a model predicting python only ~5% faster:
+        # within hysteresis, so the default must win.
+        log_default = 1.0
+        model = CostModel(
+            targets={
+                "symmetrize:vectorized": _const_fit(log_default),
+                "symmetrize:python": _const_fit(log_default - 0.05),
+            }
+        )
+        backend, _, _ = choose_backend(model, features)
+        assert backend == "vectorized"
+        # A 10x faster prediction clears the hysteresis.
+        model = CostModel(
+            targets={
+                "symmetrize:vectorized": _const_fit(log_default),
+                "symmetrize:python": _const_fit(
+                    log_default - math.log(10)
+                ),
+            }
+        )
+        backend, _, _ = choose_backend(model, features)
+        assert backend == "python"
+
+    def test_decision_provenance_and_metric(self, tmp_path):
+        registry = MetricsRegistry()
+        planner = Planner(model_path=tmp_path / "absent.json")
+        with metrics_active(registry):
+            decision = planner.decide(_graph(), 0.25)
+        assert registry.counters["tuning_decisions_total"] == 1.0
+        section = decision.as_dict()
+        assert section["enabled"] is True
+        assert section["default"] == default_plan()
+        assert set(section["chosen"]) == set(default_plan())
+        assert section["features"]["threshold"] == 0.25
+
+    def test_small_graph_plan_matches_defaults(self, tmp_path):
+        planner = Planner(model_path=tmp_path / "absent.json")
+        decision = planner.decide(_graph(), 0.25)
+        defaults = default_plan()
+        assert decision.backend == defaults["backend"]
+        assert decision.block_size == defaults["block_size"]
+        assert decision.storage == "in_core"
+        assert decision.cache_max_bytes >= 64 * 1024**2
+
+    def test_corrupt_model_strict_planner_raises(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("garbage {")
+        planner = Planner(model_path=path, mode="strict")
+        with pytest.raises(TuningError):
+            planner.decide(_graph(), 0.25)
+
+
+def _const_fit(log_value):
+    from repro.tune.model import TargetFit
+
+    coef = [0.0] * len(FEATURE_NAMES)
+    coef[0] = log_value
+    return TargetFit(coef=tuple(coef), r2=1.0, n_samples=1)
+
+
+class TestChooseStorage:
+    def test_small_graph_in_core(self):
+        from repro.linalg import choose_storage
+
+        assert choose_storage(1000, 10000) == "in_core"
+
+    def test_huge_graph_mmcsr(self):
+        from repro.linalg import choose_storage
+
+        assert choose_storage(10**8, 5 * 10**9) == "mmcsr"
+
+    def test_budget_is_configurable(self):
+        from repro.linalg import choose_storage
+
+        assert (
+            choose_storage(10000, 100000, budget_bytes=1024)
+            == "mmcsr"
+        )
+
+
+class TestPipelineTuning:
+    def test_unknown_tuning_string_rejected(self):
+        with pytest.raises(PipelineError):
+            SymmetrizeClusterPipeline(
+                "degree_discounted", "mlrmcl", tuning="aggressive"
+            )
+
+    def test_auto_matches_untuned_labels(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            MODEL_PATH_ENV, str(tmp_path / "absent.json")
+        )
+        graph = _graph(400, seed=3)
+        untuned = SymmetrizeClusterPipeline(
+            "degree_discounted", "mlrmcl", threshold=0.25
+        ).run(graph, n_clusters=8)
+        tuned = SymmetrizeClusterPipeline(
+            "degree_discounted", "mlrmcl", threshold=0.25, tuning="auto"
+        ).run(graph, n_clusters=8)
+        assert np.array_equal(
+            untuned.clustering.labels, tuned.clustering.labels
+        )
+        assert untuned.tuning == {"enabled": False}
+        assert tuned.tuning["enabled"] is True
+        assert tuned.tuning["source"] == "default"  # no model on disk
+
+    def test_auto_with_fitted_model_records_provenance(
+        self, tmp_path, monkeypatch
+    ):
+        corpus = _allpairs_corpus()
+        model = fit_cost_model(samples_from_allpairs(corpus))
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        monkeypatch.setenv(MODEL_PATH_ENV, str(path))
+        result = SymmetrizeClusterPipeline(
+            "degree_discounted", "mlrmcl", threshold=0.25, tuning="auto"
+        ).run(_graph(400, seed=3), n_clusters=8)
+        section = result.tuning
+        assert section["source"] == "model"
+        assert "vectorized" in section["predicted_seconds"]
+        assert section["chosen"]["backend"] in (
+            "vectorized",
+            "python",
+        )
+        # The planner installed a run-local memory-tier cache.
+        assert section.get("cache_installed") is True
+        assert result.cache["enabled"] is True
+
+    def test_manifest_v4_carries_tuning_section(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            MODEL_PATH_ENV, str(tmp_path / "absent.json")
+        )
+        log = tmp_path / "runs.jsonl"
+        result = SymmetrizeClusterPipeline(
+            "degree_discounted", "mlrmcl", threshold=0.25, tuning="auto"
+        ).run(_graph(400, seed=3), n_clusters=8, manifest_path=log)
+        assert result.manifest.as_dict()["schema"] == MANIFEST_SCHEMA
+        payload = json.loads(log.read_text().splitlines()[0])
+        assert payload["schema"] == MANIFEST_SCHEMA
+        assert payload["tuning"]["enabled"] is True
+        assert payload["tuning"]["default"] == default_plan()
+
+    def test_tuning_decisions_metric_counted(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            MODEL_PATH_ENV, str(tmp_path / "absent.json")
+        )
+        registry = MetricsRegistry()
+        with metrics_active(registry):
+            SymmetrizeClusterPipeline(
+                "degree_discounted",
+                "mlrmcl",
+                threshold=0.25,
+                tuning="auto",
+            ).run(_graph(300, seed=1), n_clusters=6)
+        assert registry.counters["tuning_decisions_total"] >= 1.0
+
+    def test_lenient_run_survives_corrupt_model(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "model.json"
+        path.write_text("garbage {")
+        monkeypatch.setenv(MODEL_PATH_ENV, str(path))
+        result = SymmetrizeClusterPipeline(
+            "degree_discounted",
+            "mlrmcl",
+            threshold=0.25,
+            mode="lenient",
+            tuning="auto",
+        ).run(_graph(300, seed=1), n_clusters=6)
+        codes = {w.code for w in result.warnings}
+        assert "tuning_model_invalid" in codes
+        assert result.clustering.n_clusters >= 1
+        # The run proceeds on the hand-set defaults.
+        assert result.tuning["source"] == "default"
+
+    def test_strict_run_raises_on_corrupt_model(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "model.json"
+        path.write_text("garbage {")
+        monkeypatch.setenv(MODEL_PATH_ENV, str(path))
+        with pytest.raises(TuningError):
+            SymmetrizeClusterPipeline(
+                "degree_discounted",
+                "mlrmcl",
+                threshold=0.25,
+                tuning="auto",
+            ).run(_graph(300, seed=1), n_clusters=6)

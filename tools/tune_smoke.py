@@ -1,0 +1,168 @@
+"""CI smoke check for the cost-model autotuner (``repro tune``).
+
+End-to-end over the real corpus plumbing, nothing mocked:
+
+1. **Fit.** Run the seconds-scale all-pairs bench smoke (the same
+   corpus the ``bench-smoke`` CI job records), extract samples, fit
+   the cost model, score it with the plan-quality replay, and persist
+   it to a scratch ``tuning/model.json``.
+2. **Round-trip.** Reload the persisted model and assert it is
+   byte-equivalent to the fitted one (the versioned-schema contract).
+3. **Plan quality.** The replayed auto plan must be within tolerance
+   of the best hand-set backend on ≥ 80% of corpus points and never
+   slower than the untuned default (the ISSUE acceptance bar).
+4. **Auto-tuned pipeline.** Run the same pipeline twice on a fresh
+   power-law digraph — hand-set defaults vs. ``tuning="auto"`` with
+   ``REPRO_TUNE_MODEL`` pointing at the freshly fitted model — and
+   assert the tuned run produces *identical labels* (tuned knobs are
+   execution strategy, not output identity), records its decision in
+   the result's ``tuning`` section, and lands within 1.25× of the
+   default's wall time (plus a small absolute slack for timer noise
+   on a smoke-sized graph).
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+
+Usage::
+
+    PYTHONPATH=src python tools/tune_smoke.py [--nodes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: Tuned wall time may be at most this multiple of the default's ...
+RATIO_CEILING = 1.25
+#: ... plus this many seconds of absolute slack: at smoke scale both
+#: runs finish in tens of milliseconds, where timer noise dominates.
+ABS_SLACK_S = 0.5
+
+
+def _fail(message: str) -> int:
+    print(f"tune-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def _timed_run(pipe, graph, n_clusters):
+    t0 = time.perf_counter()
+    result = pipe.run(graph, n_clusters=n_clusters)
+    return result, time.perf_counter() - t0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=2000)
+    args = parser.parse_args(argv)
+
+    from repro.graph.generators import power_law_digraph
+    from repro.perf.bench import run_bench
+    from repro.pipeline.pipeline import SymmetrizeClusterPipeline
+    from repro.tune import (
+        MODEL_PATH_ENV,
+        evaluate_plan_quality,
+        fit_cost_model,
+        load_model,
+        samples_from_allpairs,
+        save_model,
+    )
+
+    # 1. Fit from the smoke bench corpus.
+    print("tune-smoke: running all-pairs bench smoke corpus...")
+    results = run_bench(smoke=True, with_cache_sweep=False)
+    samples = samples_from_allpairs(results)
+    if not samples:
+        return _fail("smoke bench produced no cost-model samples")
+    model = fit_cost_model(samples, sources=["bench-smoke"])
+    print(
+        f"tune-smoke: fitted {len(model.targets)} targets from "
+        f"{len(samples)} samples"
+    )
+
+    # 3. Plan quality (scored before persisting, stored in stats).
+    quality = evaluate_plan_quality(model, results)
+    model.stats["plan_quality"] = quality
+    if not quality["passed"]:
+        return _fail(f"plan quality below the bar: {quality}")
+    print(
+        f"tune-smoke: plan quality "
+        f"{quality['within_tolerance']}/{quality['n_points']} within "
+        f"{quality['tolerance']:.0%}, "
+        f"{quality['worse_than_default']} worse than default"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="tune-smoke-") as tmp:
+        model_path = Path(tmp) / "tuning" / "model.json"
+        save_model(model, model_path)
+
+        # 2. Round-trip through the versioned schema.
+        reloaded = load_model(model_path)
+        if reloaded is None or reloaded.as_dict() != model.as_dict():
+            return _fail(
+                f"model did not round-trip through {model_path}"
+            )
+        print(f"tune-smoke: model round-tripped via {model_path}")
+
+        # 4. Default vs auto-tuned pipeline on a fresh graph.
+        graph = power_law_digraph(
+            args.nodes, np.random.default_rng(0)
+        )
+        default_pipe = SymmetrizeClusterPipeline(
+            "degree_discounted", "mlrmcl", threshold=0.5
+        )
+        default_result, default_s = _timed_run(
+            default_pipe, graph, 16
+        )
+
+        previous = os.environ.get(MODEL_PATH_ENV)
+        os.environ[MODEL_PATH_ENV] = str(model_path)
+        try:
+            tuned_pipe = SymmetrizeClusterPipeline(
+                "degree_discounted",
+                "mlrmcl",
+                threshold=0.5,
+                tuning="auto",
+            )
+            tuned_result, tuned_s = _timed_run(tuned_pipe, graph, 16)
+        finally:
+            if previous is None:
+                del os.environ[MODEL_PATH_ENV]
+            else:
+                os.environ[MODEL_PATH_ENV] = previous
+
+    if not np.array_equal(
+        default_result.clustering.labels,
+        tuned_result.clustering.labels,
+    ):
+        return _fail("tuned labels differ from the default run's")
+    tuning = tuned_result.tuning
+    if not tuning or not tuning.get("enabled"):
+        return _fail(f"tuned run recorded no decision: {tuning!r}")
+    if tuning.get("source") != "model":
+        return _fail(
+            f"decision did not come from the fitted model: {tuning!r}"
+        )
+    ceiling = default_s * RATIO_CEILING + ABS_SLACK_S
+    print(
+        f"tune-smoke: default {default_s:.3f}s, tuned {tuned_s:.3f}s "
+        f"(ceiling {ceiling:.3f}s), chose "
+        f"{tuning['chosen']['backend']}/"
+        f"block {tuning['chosen']['block_size']}"
+    )
+    if tuned_s > ceiling:
+        return _fail(
+            f"auto-tuned run too slow: {tuned_s:.3f}s vs default "
+            f"{default_s:.3f}s (ceiling {ceiling:.3f}s)"
+        )
+    print("tune-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
