@@ -10,6 +10,7 @@
 #   make scale-smoke   out-of-core 50k-node bench under wall/mem budget
 #   make cache-smoke   cache identity + SIGKILL/resume smoke
 #   make serve-smoke   service daemon boot/dedup/drain smoke
+#   make serve-chaos   SIGKILL/restart durability smoke (--state-dir)
 #   make tune-smoke    cost-model fit + auto-tuned pipeline smoke
 #   make coverage      pytest-cov gate (falls back to the stdlib tool)
 #   make ci            everything the PR gate runs
@@ -20,7 +21,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint format-check fault-smoke chaos-smoke bench-smoke \
-	scale-smoke cache-smoke serve-smoke tune-smoke coverage ci clean
+	scale-smoke cache-smoke serve-smoke serve-chaos tune-smoke \
+	coverage ci clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -53,6 +55,9 @@ cache-smoke:
 serve-smoke:
 	$(PYTHON) tools/serve_smoke.py --deadline 60
 
+serve-chaos:
+	$(PYTHON) tools/serve_smoke.py --chaos --deadline 90
+
 tune-smoke:
 	$(PYTHON) tools/tune_smoke.py
 
@@ -65,7 +70,7 @@ coverage:
 	fi
 
 ci: lint test fault-smoke chaos-smoke bench-smoke scale-smoke cache-smoke \
-	serve-smoke tune-smoke
+	serve-smoke serve-chaos tune-smoke
 
 clean:
 	rm -rf .pytest_cache .ruff_cache coverage.xml .coverage \

@@ -497,8 +497,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="state root for job journals and manifests",
     )
     p.add_argument(
+        "--state-dir",
+        help=(
+            "durable state root (graphs, results, write-ahead "
+            "journal); a restarted daemon recovers everything "
+            "from it. Implies --data-dir=STATE_DIR."
+        ),
+    )
+    p.add_argument(
         "--workers", type=int, default=2,
         help="max concurrently executing jobs (default 2)",
+    )
+    p.add_argument(
+        "--worker-mode", choices=("thread", "process"),
+        default="thread",
+        help=(
+            "'process' supervises jobs in worker processes: a "
+            "crashing job is retried and quarantined, never the "
+            "daemon (default thread)"
+        ),
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=None,
+        help=(
+            "admission bound on queued jobs; beyond it new "
+            "submissions are shed with 503 + Retry-After "
+            "(default: unbounded)"
+        ),
+    )
+    p.add_argument(
+        "--max-jobs", type=int, default=None,
+        help=(
+            "retention bound: evict the oldest finished jobs "
+            "beyond this many (default: keep all)"
+        ),
+    )
+    p.add_argument(
+        "--max-job-age", type=float, default=None,
+        help=(
+            "retention bound: evict finished jobs older than "
+            "this many seconds (default: keep forever)"
+        ),
     )
     p.add_argument(
         "--cache-dir",
@@ -1241,7 +1280,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.engine import ArtifactCache, Budget
-    from repro.service import ServiceServer
+    from repro.service import ServiceServer, ServiceStore
     from repro.service.server import serve
 
     job_budget = None
@@ -1255,15 +1294,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
         )
     cache = ArtifactCache(directory=args.cache_dir)
+    store = None
+    data_dir = args.data_dir
+    if args.state_dir:
+        # Durable mode: every state artifact under one root, so a
+        # restart recovers graphs, results and incomplete jobs.
+        data_dir = args.state_dir
+        store = ServiceStore(args.state_dir)
     server = ServiceServer(
-        args.data_dir,
+        data_dir,
         host=args.host,
         port=args.port,
         cache=cache,
         max_workers=args.workers,
         job_budget=job_budget,
         client_wall_s=args.client_wall_s,
+        store=store,
+        worker_mode=args.worker_mode,
+        max_queue_depth=args.max_queue,
+        max_jobs=args.max_jobs,
+        max_job_age_s=args.max_job_age,
     )
+    if store is not None:
+        counters = server.manager.metrics.as_dict().get(
+            "counters", {}
+        )
+        print(
+            "recovered "
+            f"{int(counters.get('service_graphs_recovered_total', 0))}"
+            " graph(s), "
+            f"{int(counters.get('service_results_recovered_total', 0))}"
+            " result(s); re-running "
+            f"{int(counters.get('service_jobs_rerun_total', 0))}"
+            " incomplete job(s)",
+            flush=True,
+        )
     for entry in args.graph:
         name, _, path = entry.partition("=")
         if not name or not path:

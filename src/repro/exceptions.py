@@ -32,6 +32,7 @@ __all__ = [
     "WorkerCrashError",
     "FaultInjected",
     "BudgetExceeded",
+    "ServiceOverloaded",
     "ReproWarning",
     "ValidationWarning",
     "DegenerateGraphWarning",
@@ -158,6 +159,24 @@ class BudgetExceeded(ReproError):
         self.spent = spent
 
 
+class ServiceOverloaded(ReproError):
+    """The service shed a request under overload (HTTP 503).
+
+    Raised by the job manager's admission control when the queue is
+    at its bound, and re-raised client-side from the structured 503
+    body. ``retry_after_s`` is the server's suggested backoff — the
+    hardened :class:`~repro.service.ServiceClient` honours it.
+    """
+
+    def __init__(
+        self,
+        message: str = "service overloaded; retry later",
+        retry_after_s: float = 1.0,
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 # ---------------------------------------------------------------------------
 # Warnings (the lenient channel)
 # ---------------------------------------------------------------------------
@@ -218,7 +237,10 @@ class ExecutionWarning(ReproWarning):
     mid-append was skipped on read), ``cache_orphan`` (a
     meta-without-artifact cache entry from a crash mid-put was
     dropped), ``resume_mismatch`` (a journal record did not match the
-    plan being resumed and was ignored).
+    plan being resumed and was ignored), ``store_degraded`` (the
+    service store flipped read-only after a write failure or the
+    disk-space watchdog tripped), ``job_rerun`` (a recovering service
+    daemon re-submitted an incomplete job from its tombstone).
     """
 
     code = "execution"

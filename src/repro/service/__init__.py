@@ -1,4 +1,4 @@
-"""Clustering-as-a-service: a long-lived daemon over the library.
+"""Clustering-as-a-service: a durable, crash-safe daemon over the library.
 
 The CLI runs one pipeline per process, which re-pays graph loading and
 stage-1 symmetrization on every invocation. ``repro serve`` instead
@@ -15,15 +15,30 @@ from many concurrent clients:
 - every job runs in an isolated :func:`~repro.engine.ambient_scope`
   on a bounded worker pool, journaling progress to its own
   write-ahead :class:`~repro.engine.RunJournal`, which
-  ``GET /jobs/<id>/events`` streams live as NDJSON.
+  ``GET /jobs/<id>/events`` streams live as NDJSON;
+- with ``--state-dir``, a :class:`~repro.service.store.ServiceStore`
+  persists graphs (MmapCSR), results (content-addressed JSON) and
+  job tombstones (a write-ahead service journal), so a SIGKILLed
+  daemon recovers its state byte-identically and re-runs exactly the
+  incomplete jobs;
+- ``worker_mode="process"`` supervises jobs in
+  :class:`~repro.engine.pool.WorkerPool` workers — a crashing job
+  costs a worker, not the daemon, and is quarantined (``crashed``)
+  after repeated deaths;
+- admission control sheds load (503 + ``Retry-After``) at a bounded
+  queue depth, and the hardened :class:`ServiceClient` rides it out
+  with deterministic exponential backoff.
 
 :class:`~repro.service.jobs.JobManager` is the HTTP-free core,
 :class:`~repro.service.server.ServiceServer` the asyncio front end,
-and :class:`~repro.service.client.ServiceClient` a stdlib-only
-client. See ``docs/service.md`` for the protocol.
+:class:`~repro.service.store.ServiceStore` the durability layer,
+:class:`~repro.service.supervisor.WorkerSupervisor` the process-worker
+harness, and :class:`~repro.service.client.ServiceClient` a
+stdlib-only client. See ``docs/service.md`` for the protocol and
+deployment notes.
 """
 
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, ServiceHTTPError
 from repro.service.jobs import (
     JOB_KINDS,
     JOB_STATES,
@@ -32,8 +47,12 @@ from repro.service.jobs import (
     JobSpec,
     RegisteredGraph,
     ServiceError,
+    error_code_for,
+    execute_spec,
 )
 from repro.service.server import ServiceServer, serve
+from repro.service.store import ServiceStore
+from repro.service.supervisor import WorkerSupervisor
 
 __all__ = [
     "JOB_KINDS",
@@ -43,7 +62,12 @@ __all__ = [
     "JobSpec",
     "RegisteredGraph",
     "ServiceError",
+    "ServiceHTTPError",
     "ServiceServer",
     "ServiceClient",
+    "ServiceStore",
+    "WorkerSupervisor",
+    "error_code_for",
+    "execute_spec",
     "serve",
 ]

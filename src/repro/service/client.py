@@ -1,23 +1,64 @@
-"""Stdlib-only client for the clustering service daemon.
+"""Stdlib-only hardened client for the clustering service daemon.
 
 One :class:`http.client.HTTPConnection` per request (the server is
 ``Connection: close``), JSON in/out, typed errors re-raised from the
 server's structured error bodies. Thread-safe by construction — every
 call opens its own connection — which is exactly what the multi-client
 integration test leans on.
+
+Hardening (the PR 10 contract):
+
+- **Split timeouts.** ``connect_timeout`` bounds the TCP handshake,
+  ``timeout`` the read — a daemon mid-restart fails fast instead of
+  eating the whole read budget.
+- **Retry with deterministic backoff.** Connection failures and 503
+  overload responses are retried under an
+  :class:`~repro.engine.RetryPolicy` (exponential, deterministic
+  jitter keyed by ``method path``), honouring the server's
+  ``Retry-After`` when it is longer than the computed backoff. Only
+  idempotent requests retry — every endpoint here is, *including*
+  ``POST /jobs``: the job's content address makes resubmission a
+  dedup hit, so a lost response costs a cheap rider join, never a
+  duplicate execution. ``POST /shutdown`` is the one exception.
+- **Typed errors.** The server's machine-readable ``code`` field maps
+  back to the real exceptions — ``budget_exceeded`` →
+  :class:`~repro.exceptions.BudgetExceeded` (structured fields
+  intact), ``overloaded`` →
+  :class:`~repro.exceptions.ServiceOverloaded`, ``worker_crashed`` →
+  :class:`~repro.exceptions.WorkerCrashError`, ``transient`` →
+  :class:`~repro.exceptions.TransientError` — with
+  :class:`ServiceHTTPError` only for anything unmapped.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Any, Iterator
 
-from repro.exceptions import ReproError
+from repro.engine.policy import RetryPolicy
+from repro.exceptions import (
+    BudgetExceeded,
+    ReproError,
+    ServiceOverloaded,
+    TransientError,
+    WorkerCrashError,
+)
 from repro.graph.digraph import DirectedGraph
 from repro.service.jobs import ServiceError
 
 __all__ = ["ServiceClient", "ServiceHTTPError"]
+
+#: Default retry policy for the hardened transport: 5 attempts,
+#: 0.2 s base backoff doubling to a 5 s ceiling, 25% jitter.
+_DEFAULT_RETRY = RetryPolicy(
+    max_attempts=5,
+    backoff_s=0.2,
+    backoff_factor=2.0,
+    max_backoff_s=5.0,
+    jitter=0.25,
+)
 
 
 class ServiceHTTPError(ReproError):
@@ -32,11 +73,30 @@ class ServiceHTTPError(ReproError):
 def _raise_for(status: int, payload: dict[str, Any]) -> None:
     message = str(payload.get("error", "unknown error"))
     error_type = str(payload.get("error_type", ""))
-    if status == 429 or error_type == "BudgetExceeded":
-        # The structured fields don't survive the wire; re-raise with
-        # the server's rendered message as the scope.
+    code = str(payload.get("code", ""))
+    if code == "budget_exceeded" or error_type == "BudgetExceeded":
+        if {"scope", "resource", "limit", "spent"} <= payload.keys():
+            raise BudgetExceeded(
+                str(payload["scope"]),
+                str(payload["resource"]),
+                float(payload["limit"]),
+                float(payload["spent"]),
+            )
         raise ServiceHTTPError(status, message, error_type or "BudgetExceeded")
-    if error_type == "ServiceError" or status in (400, 404, 409):
+    if code == "overloaded":
+        raise ServiceOverloaded(
+            message,
+            retry_after_s=float(payload.get("retry_after_s", 1.0)),
+        )
+    if code == "worker_crashed":
+        raise WorkerCrashError(message)
+    if code == "transient":
+        raise TransientError(message)
+    if (
+        code in ("invalid_request", "not_found", "conflict")
+        or error_type == "ServiceError"
+        or status in (400, 404, 409)
+    ):
         raise ServiceError(message)
     raise ServiceHTTPError(status, message, error_type or "HTTPError")
 
@@ -52,7 +112,13 @@ class ServiceClient:
         Tenant identity sent with every job submission — the unit of
         the server's per-client wall-clock budget.
     timeout:
-        Socket timeout per request, seconds.
+        Read timeout per request, seconds.
+    connect_timeout:
+        TCP connect timeout, seconds (defaults to ``min(timeout,
+        5)``).
+    retry:
+        Backoff policy for connection failures and 503 sheds. Pass
+        ``RetryPolicy(max_attempts=1)`` to disable retries.
     """
 
     def __init__(
@@ -61,25 +127,39 @@ class ServiceClient:
         port: int,
         client: str = "anonymous",
         timeout: float = 60.0,
+        connect_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.client = client
         self.timeout = timeout
+        self.connect_timeout = (
+            connect_timeout
+            if connect_timeout is not None
+            else min(timeout, 5.0)
+        )
+        self.retry = retry if retry is not None else _DEFAULT_RETRY
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _request(
+    def _once(
         self,
         method: str,
         path: str,
-        payload: dict[str, Any] | None = None,
-    ) -> dict[str, Any]:
+        payload: dict[str, Any] | None,
+    ) -> tuple[int, dict[str, str], dict[str, Any]]:
+        """One connect / request / read cycle; returns
+        ``(status, lowercase headers, parsed body)``."""
         conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+            self.host, self.port, timeout=self.connect_timeout
         )
         try:
+            conn.connect()
+            if conn.sock is not None:
+                # Connected: the remaining budget is the read one.
+                conn.sock.settimeout(self.timeout)
             body = None
             headers = {"X-Repro-Client": self.client}
             if payload is not None:
@@ -88,6 +168,10 @@ class ServiceClient:
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             raw = response.read()
+            response_headers = {
+                name.lower(): value
+                for name, value in response.getheaders()
+            }
         finally:
             conn.close()
         try:
@@ -96,15 +180,69 @@ class ServiceClient:
             raise ServiceHTTPError(
                 response.status, f"unparseable body: {exc}", "BadBody"
             ) from exc
-        if response.status >= 400:
-            _raise_for(response.status, parsed)
-        return parsed
+        return response.status, response_headers, parsed
+
+    def _backoff(
+        self,
+        attempt: int,
+        token: str,
+        retry_after: str | None,
+    ) -> None:
+        delay = self.retry.delay(attempt, token=token)
+        if retry_after:
+            try:
+                delay = max(delay, float(retry_after))
+            except ValueError:
+                pass
+        time.sleep(delay)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict[str, Any] | None = None,
+        idempotent: bool = True,
+    ) -> dict[str, Any]:
+        token = f"{method} {path}"
+        attempt = 0
+        while True:
+            attempt += 1
+            retryable = (
+                idempotent and attempt < self.retry.max_attempts
+            )
+            try:
+                status, headers, parsed = self._once(
+                    method, path, payload
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                # Refused / reset / timed out: the daemon may be
+                # mid-restart. Idempotent requests back off and
+                # resubmit (content addressing dedups job posts).
+                if retryable:
+                    self._backoff(attempt, token, None)
+                    continue
+                raise TransientError(
+                    f"{token} to {self.host}:{self.port} failed "
+                    f"after {attempt} attempt(s): {exc}"
+                ) from exc
+            if status == 503 and retryable:
+                self._backoff(
+                    attempt, token, headers.get("retry-after")
+                )
+                continue
+            if status >= 400:
+                _raise_for(status, parsed)
+            return parsed
 
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
     def health(self) -> dict[str, Any]:
         return self._request("GET", "/health")
+
+    def ready(self) -> dict[str, Any]:
+        """``GET /readyz`` — raises while the daemon is draining."""
+        return self._request("GET", "/readyz", idempotent=False)
 
     def stats(self) -> dict[str, Any]:
         return self._request("GET", "/stats")
@@ -134,8 +272,12 @@ class ServiceClient:
         (``kind``, ``graph``, ``method``, ``clusterer``, ...).
 
         Returns ``{"job_id", "key", "state", "deduped"}``. Raises
-        :class:`ServiceHTTPError` with ``status=429`` when this
-        client's budget is exhausted.
+        :class:`~repro.exceptions.BudgetExceeded` when this client's
+        budget is exhausted and
+        :class:`~repro.exceptions.ServiceOverloaded` when the server
+        sheds and retries are exhausted. Safe to retry: the job's
+        content address makes an identical resubmission join the
+        existing job instead of spawning a duplicate.
         """
         return self._request("POST", "/jobs", spec)
 
@@ -156,25 +298,35 @@ class ServiceClient:
         """Block until ``job_id`` finishes and return its result.
 
         Raises :class:`~repro.exceptions.ReproError` subclasses
-        reconstructed from the job's recorded failure.
+        reconstructed from the job's recorded failure code.
         """
         job = self.job(job_id, wait=timeout)
-        if job["state"] not in ("done", "failed"):
+        if job["state"] in ("queued", "running"):
             raise ServiceHTTPError(
                 504,
                 f"job {job_id} still {job['state']} after {timeout}s",
                 "Timeout",
             )
-        if job["state"] == "failed":
-            if job.get("error_type") == "BudgetExceeded":
-                raise ServiceHTTPError(
-                    429, job.get("error") or "", "BudgetExceeded"
-                )
-            raise ServiceError(
-                f"job {job_id} failed "
-                f"({job.get('error_type')}): {job.get('error')}"
-            )
+        if job["state"] in ("failed", "crashed"):
+            raise self._job_failure(job_id, job)
         return job["result"]
+
+    @staticmethod
+    def _job_failure(job_id: str, job: dict[str, Any]) -> ReproError:
+        """Typed exception for a terminally failed job record."""
+        code = job.get("error_code") or ""
+        error_type = job.get("error_type")
+        message = (
+            f"job {job_id} {job['state']} "
+            f"({error_type}): {job.get('error')}"
+        )
+        if code == "budget_exceeded" or error_type == "BudgetExceeded":
+            return ServiceHTTPError(429, message, "BudgetExceeded")
+        if code == "worker_crashed" or job["state"] == "crashed":
+            return WorkerCrashError(message)
+        if code == "transient":
+            return TransientError(message)
+        return ServiceError(message)
 
     def events(self, job_id: str) -> Iterator[dict[str, Any]]:
         """Stream the job's journal records as they are written.
@@ -205,4 +357,6 @@ class ServiceClient:
             conn.close()
 
     def shutdown(self) -> dict[str, Any]:
-        return self._request("POST", "/shutdown")
+        """Ask the daemon to drain and exit. Never retried — a lost
+        response is indistinguishable from a completed shutdown."""
+        return self._request("POST", "/shutdown", idempotent=False)

@@ -18,24 +18,40 @@ many concurrent clients cheap:
   :class:`~repro.exceptions.BudgetExceeded` (the HTTP layer maps it
   to 429). Deduplicated riders are not charged — shared computation
   is the point of the content addressing.
-- **Per-job isolation.** Every job executes inside an isolated
-  :func:`~repro.engine.ambient_scope` carrying the shared cache, a
-  fresh tracer + metrics registry, and the job's own write-ahead
-  journal (``<data_dir>/jobs/<job_id>/journal.jsonl``) — the journal
-  the ``/jobs/<id>/events`` endpoint tails. Nothing ambient leaks
-  between jobs that reuse a pooled worker thread.
-- **Per-job provenance.** Each job appends a
-  :class:`~repro.obs.RunManifest` (with a ``job`` section keyed by
-  job id) to ``<data_dir>/manifests.jsonl``.
+- **Admission control.** A bounded queue: once ``max_queue_depth``
+  jobs are waiting, further *new* submissions are shed with
+  :class:`~repro.exceptions.ServiceOverloaded` (HTTP 503 +
+  ``Retry-After``; ``service_shed_total`` counts them). Dedup riders
+  always board — they cost nothing.
+- **Durability.** With a :class:`~repro.service.store.ServiceStore`
+  attached, graphs persist as MmapCSR stores, finished results as
+  content-addressed JSON, and submissions as write-ahead tombstones.
+  A manager constructed over the same state dir after a SIGKILL
+  recovers all of it and re-runs exactly the incomplete jobs.
+- **Supervised execution.** ``worker_mode="process"`` runs each job
+  in a :class:`~repro.engine.pool.WorkerPool` worker under a
+  supervisor: a crashed worker is detected, the job retried under
+  the manager's :class:`~repro.engine.RetryPolicy`, and a job that
+  kills two workers is quarantined in the terminal ``crashed`` state
+  (never dedup-cached, so a later resubmission runs fresh).
+- **Per-job isolation and provenance.** Every job executes inside an
+  isolated :func:`~repro.engine.ambient_scope` carrying the shared
+  cache, a fresh tracer + metrics registry, and the job's own
+  write-ahead journal (``<data_dir>/jobs/<job_id>/journal.jsonl``) —
+  the journal the ``/jobs/<id>/events`` endpoint tails — and appends
+  a :class:`~repro.obs.RunManifest` to ``<data_dir>/manifests.jsonl``.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
+import contextvars
 import hashlib
 import threading
 import time
-from dataclasses import dataclass, field
+import warnings as _warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -55,7 +71,14 @@ from repro.engine import (
     ambient_scope,
     point_key,
 )
-from repro.exceptions import BudgetExceeded, ReproError
+from repro.exceptions import (
+    BudgetExceeded,
+    ExecutionWarning,
+    ReproError,
+    ServiceOverloaded,
+    TransientError,
+    WorkerCrashError,
+)
 from repro.graph.digraph import DirectedGraph
 from repro.obs.manifest import (
     RunManifest,
@@ -67,6 +90,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.pipeline.pipeline import SymmetrizeClusterPipeline
 from repro.pipeline.sweep import aggregate_average_f, sweep_n_clusters
+from repro.service.store import ServiceStore
 from repro.symmetrize.base import get_symmetrization
 
 __all__ = [
@@ -77,17 +101,45 @@ __all__ = [
     "RegisteredGraph",
     "Job",
     "JobManager",
+    "error_code_for",
+    "execute_spec",
 ]
 
 #: Request kinds the daemon executes.
 JOB_KINDS = ("symmetrize", "cluster", "sweep")
 
-#: Lifecycle of a job. ``queued -> running -> done | failed``.
-JOB_STATES = ("queued", "running", "done", "failed")
+#: Lifecycle of a job. ``queued -> running -> done | failed |
+#: crashed`` (``crashed`` = quarantined after repeated worker death).
+JOB_STATES = ("queued", "running", "done", "failed", "crashed")
+
+#: Terminal states that never dedup-cache: a retry gets a fresh job.
+_RETRYABLE_TERMINAL = ("failed", "crashed")
 
 
 class ServiceError(ReproError):
     """A malformed or unserviceable request (HTTP 400/404/409)."""
+
+
+def error_code_for(exc: BaseException) -> str:
+    """Machine-readable error code for the failure taxonomy.
+
+    These are the ``code`` values the HTTP layer puts in structured
+    error bodies and :class:`~repro.service.ServiceClient` maps back
+    to typed exceptions.
+    """
+    if isinstance(exc, BudgetExceeded):
+        return "budget_exceeded"
+    if isinstance(exc, WorkerCrashError):
+        return "worker_crashed"
+    if isinstance(exc, ServiceOverloaded):
+        return "overloaded"
+    if isinstance(exc, TransientError):
+        return "transient"
+    if isinstance(exc, ServiceError):
+        return "invalid_request"
+    if isinstance(exc, ReproError):
+        return "invalid_request"
+    return "internal"
 
 
 def _labels_sha(labels: np.ndarray) -> str:
@@ -188,12 +240,19 @@ class JobSpec:
 
 @dataclass(frozen=True)
 class RegisteredGraph:
-    """A directed graph the daemon holds in memory for jobs."""
+    """A directed graph the daemon holds in memory for jobs.
+
+    ``store_path`` points at the persisted MmapCSR directory when a
+    :class:`ServiceStore` (or process-worker spill) backs the graph —
+    it is what lets worker processes open the adjacency zero-copy
+    instead of unpickling it over the pipe.
+    """
 
     name: str
     graph: DirectedGraph
     sha: str
     created_unix: float
+    store_path: str | None = None
 
     def summary(self) -> dict[str, Any]:
         return {
@@ -202,6 +261,7 @@ class RegisteredGraph:
             "n_nodes": self.graph.n_nodes,
             "n_edges": self.graph.n_edges,
             "created_unix": self.created_unix,
+            "persisted": self.store_path is not None,
         }
 
 
@@ -228,7 +288,9 @@ class Job:
         self.result: dict[str, Any] | None = None
         self.error: str | None = None
         self.error_type: str | None = None
+        self.error_code: str | None = None
         self.warnings: list[dict[str, str]] = []
+        self.recovered = False
         self.done = threading.Event()
 
     @property
@@ -249,6 +311,8 @@ class Job:
             "seconds": self.seconds,
             "error": self.error,
             "error_type": self.error_type,
+            "error_code": self.error_code,
+            "recovered": self.recovered,
         }
 
     def as_dict(self) -> dict[str, Any]:
@@ -259,6 +323,215 @@ class Job:
             "warnings": self.warnings,
             "result": self.result,
         }
+
+
+# ---------------------------------------------------------------------------
+# Spec execution (shared by worker threads and worker processes)
+# ---------------------------------------------------------------------------
+
+
+def execute_spec(
+    spec: JobSpec,
+    graph: DirectedGraph,
+    *,
+    dataset_sha: str,
+    cache: ArtifactCache | None = None,
+    budget: Budget | None = None,
+    retry: RetryPolicy | None = None,
+    tracer: Tracer | None = None,
+    job_metrics: MetricsRegistry | None = None,
+) -> tuple[dict[str, Any], list[dict[str, str]], RunManifest | None]:
+    """Run one job spec against ``graph``; the one execution path
+    both the in-thread and the supervised-process workers share.
+
+    Returns ``(result_payload, warnings, manifest)``. The caller is
+    responsible for installing the ambient scope (cache / tracer /
+    metrics / journal) around this call — in process-worker mode that
+    happens inside the worker, with the journal appending to the same
+    file the parent's event streams tail.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    job_metrics = (
+        job_metrics if job_metrics is not None else MetricsRegistry()
+    )
+    if spec.kind == "cluster":
+        return _execute_cluster(spec, graph, budget, retry)
+    if spec.kind == "symmetrize":
+        return _execute_symmetrize(
+            spec, graph, dataset_sha, cache, budget, retry,
+            tracer, job_metrics,
+        )
+    return _execute_sweep(
+        spec, graph, cache, budget, retry, tracer, job_metrics
+    )
+
+
+def _execute_cluster(
+    spec: JobSpec,
+    graph: DirectedGraph,
+    budget: Budget | None,
+    retry: RetryPolicy | None,
+) -> tuple[dict[str, Any], list[dict[str, str]], RunManifest | None]:
+    pipe = SymmetrizeClusterPipeline(
+        spec.method,
+        spec.clusterer,
+        threshold=spec.threshold,
+        mode=spec.mode,
+        tuning=spec.tuning,
+    )
+    result = pipe.run(
+        graph,
+        n_clusters=spec.n_clusters,
+        plan_budget=budget,
+        retry=retry,
+    )
+    recorded = [
+        {"stage": w.stage, "code": w.code, "message": w.message}
+        for w in result.warnings
+    ]
+    labels = result.clustering.labels
+    payload = {
+        "kind": "cluster",
+        "labels": [int(v) for v in labels],
+        "labels_sha256": _labels_sha(labels),
+        "n_clusters": int(result.clustering.n_clusters),
+        "n_edges": int(result.symmetrized.n_edges),
+        "symmetrize_seconds": result.symmetrize_seconds,
+        "cluster_seconds": result.cluster_seconds,
+        "cache": result.cache,
+    }
+    return payload, recorded, result.manifest
+
+
+def _execute_symmetrize(
+    spec: JobSpec,
+    graph: DirectedGraph,
+    dataset_sha: str,
+    cache: ArtifactCache | None,
+    budget: Budget | None,
+    retry: RetryPolicy | None,
+    tracer: Tracer,
+    job_metrics: MetricsRegistry,
+) -> tuple[dict[str, Any], list[dict[str, str]], RunManifest | None]:
+    stages = [
+        ValidateInputStage(),
+        SymmetrizeStage(
+            get_symmetrization(spec.method),
+            threshold=spec.threshold,
+        ),
+    ]
+    plan = Plan(
+        stages,
+        initial=("graph",),
+        name=f"service.symmetrize.{spec.method}",
+    )
+    executor = Executor(
+        mode=spec.mode,
+        cache=cache,
+        plan_budget=budget,
+        retry=retry,
+    )
+    execution = executor.execute(
+        plan, {"graph": graph}, dataset_sha=dataset_sha
+    )
+    recorded = [
+        {"stage": w.stage, "code": w.code, "message": w.message}
+        for w in execution.warnings
+    ]
+    symmetrized = execution.values["symmetrized"]
+    payload = {
+        "kind": "symmetrize",
+        "n_nodes": int(symmetrized.n_nodes),
+        "n_edges": int(symmetrized.n_edges),
+        "result_sha": fingerprint_graph(symmetrized)["sha256"],
+        "seconds": execution.seconds("symmetrize"),
+        "cache": execution.cache_summary(),
+    }
+    manifest = _spec_manifest(
+        spec, graph, recorded, tracer, job_metrics,
+        timings={
+            "symmetrize_seconds": execution.seconds("symmetrize")
+        },
+        cache=execution.cache_summary(),
+    )
+    return payload, recorded, manifest
+
+
+def _execute_sweep(
+    spec: JobSpec,
+    graph: DirectedGraph,
+    cache: ArtifactCache | None,
+    budget: Budget | None,
+    retry: RetryPolicy | None,
+    tracer: Tracer,
+    job_metrics: MetricsRegistry,
+) -> tuple[dict[str, Any], list[dict[str, str]], RunManifest | None]:
+    points = sweep_n_clusters(
+        graph,
+        spec.method,
+        spec.clusterer,
+        list(spec.counts or ()),
+        threshold=spec.threshold,
+        cache=cache,
+        mode=spec.mode,
+        retry=retry,
+        plan_budget=budget,
+    )
+    payload = {
+        "kind": "sweep",
+        "points": [
+            {
+                "parameter": point.parameter,
+                "n_clusters": int(point.n_clusters),
+                "average_f": point.average_f,
+                "n_edges": int(point.n_edges),
+                "cluster_seconds": point.cluster_seconds,
+                "cache_hit": point.cache_hit,
+                "failed": point.failed,
+                "error": point.error,
+            }
+            for point in points
+        ],
+        "mean_average_f": aggregate_average_f(points),
+    }
+    manifest = _spec_manifest(
+        spec, graph, [], tracer, job_metrics,
+        timings={
+            "sweep_seconds": sum(
+                p.cluster_seconds for p in points
+            )
+        },
+        cache={
+            "hits": sum(1 for p in points if p.cache_hit),
+            "misses": sum(
+                1 for p in points if p.cache_hit is False
+            ),
+        },
+    )
+    return payload, [], manifest
+
+
+def _spec_manifest(
+    spec: JobSpec,
+    graph: DirectedGraph,
+    recorded_warnings: list[dict[str, str]],
+    tracer: Tracer,
+    job_metrics: MetricsRegistry,
+    timings: dict[str, float],
+    cache: dict[str, Any],
+) -> RunManifest:
+    return RunManifest(
+        kind="service",
+        name=f"{spec.kind}.{spec.method}",
+        config=spec.as_dict(),
+        dataset=fingerprint_graph(graph),
+        environment=collect_environment(),
+        warnings=recorded_warnings,
+        trace=tracer.as_dict().get("spans", []),
+        metrics=job_metrics.as_dict(),
+        cache=cache,
+        timings=timings,
+    )
 
 
 class JobManager:
@@ -274,20 +547,46 @@ class JobManager:
         with a ``directory`` for a persistent disk tier).
     max_workers:
         Bound on concurrently *executing* jobs; further submissions
-        queue.
+        queue (up to ``max_queue_depth``).
     job_budget:
         Per-job :class:`Budget` ceiling (wall / memory), enforced by
-        the engine as the plan budget of every execution.
+        the engine as the plan budget of every execution — including
+        inside worker processes in ``worker_mode="process"``.
     client_wall_s:
         Cumulative per-client wall-clock allowance across all their
         completed jobs; ``None`` disables tenant budgeting. Clients
         over the allowance are denied with
         :class:`~repro.exceptions.BudgetExceeded`.
     retry:
-        :class:`RetryPolicy` applied to every job's stages.
+        :class:`RetryPolicy` applied to every job's stages, and by
+        the supervisor to worker-crash re-runs.
     metrics:
         Server-level registry for service counters (jobs, dedup
-        hits, denials). A private one is created when omitted.
+        hits, denials, sheds, evictions). A private one is created
+        when omitted.
+    store:
+        A :class:`~repro.service.store.ServiceStore` for durable
+        state. When given, the manager recovers graphs, results and
+        incomplete jobs from it at construction, and persists new
+        ones as it goes. ``data_dir`` should be the store's state
+        dir so journals and manifests live under the same root.
+    worker_mode:
+        ``"thread"`` (default) executes jobs on the manager's thread
+        pool; ``"process"`` adds a supervised
+        :class:`~repro.engine.pool.WorkerPool` so a hard-crashing
+        job cannot take the daemon down. Falls back to threads when
+        the sandbox forbids process pools.
+    max_queue_depth:
+        Admission bound: new submissions beyond this many *queued*
+        jobs are shed with :class:`ServiceOverloaded` (HTTP 503).
+        ``None`` disables shedding.
+    shed_retry_after_s:
+        ``Retry-After`` hint attached to shed responses.
+    max_jobs / max_job_age_s:
+        Retention bounds for finished jobs: after every completion
+        (and on :meth:`evict_jobs`) terminal jobs beyond the count /
+        older than the age are evicted — journals, persisted results
+        and in-memory records alike (``service_jobs_evicted_total``).
     """
 
     def __init__(
@@ -299,7 +598,18 @@ class JobManager:
         client_wall_s: float | None = None,
         retry: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        store: ServiceStore | None = None,
+        worker_mode: str = "thread",
+        max_queue_depth: int | None = None,
+        shed_retry_after_s: float = 1.0,
+        max_jobs: int | None = None,
+        max_job_age_s: float | None = None,
     ) -> None:
+        if worker_mode not in ("thread", "process"):
+            raise ServiceError(
+                f"unknown worker_mode {worker_mode!r}; expected "
+                "'thread' or 'process'"
+            )
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.cache = cache if cache is not None else ArtifactCache()
@@ -309,6 +619,14 @@ class JobManager:
         self.metrics = (
             metrics if metrics is not None else MetricsRegistry()
         )
+        self.store = store
+        if store is not None:
+            store.metrics = self.metrics
+        self.worker_mode = worker_mode
+        self.max_queue_depth = max_queue_depth
+        self.shed_retry_after_s = shed_retry_after_s
+        self.max_jobs = max_jobs
+        self.max_job_age_s = max_job_age_s
         self.manifest_log = self.data_dir / "manifests.jsonl"
         self._graphs: dict[str, RegisteredGraph] = {}
         self._jobs: dict[str, Job] = {}
@@ -321,6 +639,96 @@ class JobManager:
             thread_name_prefix="repro-job",
         )
         self._closed = False
+        self._supervisor = None
+        if worker_mode == "process":
+            from repro.service.supervisor import WorkerSupervisor
+
+            self._supervisor = WorkerSupervisor(
+                max_workers=max_workers,
+                retry=retry,
+                metrics=self.metrics,
+            )
+        if store is not None:
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Rebuild state from the store: graphs, finished results,
+        then re-submit exactly the incomplete jobs."""
+        assert self.store is not None
+        for name, graph, sha, created in self.store.load_graphs():
+            self._graphs[name] = RegisteredGraph(
+                name=name,
+                graph=graph,
+                sha=sha,
+                created_unix=created or time.time(),
+                store_path=str(self.store.graph_dir(name)),
+            )
+            self.metrics.inc("service_graphs_recovered_total")
+        for key, payload in self.store.load_results().items():
+            job = self._rebuild_job(key, payload)
+            if job is None:
+                continue
+            self._jobs[job.job_id] = job
+            self._by_key[key] = job
+            self.metrics.inc("service_results_recovered_total")
+        for record in self.store.incomplete_jobs():
+            try:
+                spec = JobSpec.from_dict(dict(record.get("spec") or {}))
+            except ServiceError:
+                continue
+            if spec.graph not in self._graphs:
+                continue  # its graph never made it to disk
+            client = str(record.get("client") or "recovered")
+            with contextlib.suppress(ReproError):
+                job, deduped = self.submit(
+                    spec, client, admission=False
+                )
+                if not deduped:
+                    self.metrics.inc("service_jobs_rerun_total")
+                    _warnings.warn(
+                        ExecutionWarning(
+                            f"re-running incomplete job "
+                            f"{job.job_id} from its tombstone",
+                            code="job_rerun",
+                        ),
+                        stacklevel=2,
+                    )
+
+    def _rebuild_job(
+        self, key: str, payload: dict[str, Any]
+    ) -> Job | None:
+        try:
+            spec = JobSpec.from_dict(dict(payload.get("spec") or {}))
+        except ServiceError:
+            return None
+        job_id = str(payload.get("job_id") or f"job-{key[:16]}")
+        clients = payload.get("clients") or ["recovered"]
+        job = Job(
+            job_id=job_id,
+            key=key,
+            spec=spec,
+            client=str(clients[0]),
+            journal_path=(
+                self.data_dir / "jobs" / job_id / "journal.jsonl"
+            ),
+        )
+        job.clients = [str(c) for c in clients]
+        job.state = str(payload.get("state") or "done")
+        job.result = payload.get("result")
+        job.warnings = list(payload.get("warnings") or [])
+        job.error = payload.get("error")
+        job.error_type = payload.get("error_type")
+        job.created_unix = float(
+            payload.get("created_unix") or time.time()
+        )
+        job.started_unix = payload.get("started_unix")
+        job.finished_unix = payload.get("finished_unix")
+        job.recovered = True
+        job.done.set()
+        return job
 
     # ------------------------------------------------------------------
     # Graph registry
@@ -329,7 +737,12 @@ class JobManager:
         self, name: str, graph: DirectedGraph
     ) -> RegisteredGraph:
         """Register ``graph`` under ``name`` (idempotent for the same
-        content; a different graph under a taken name is a conflict)."""
+        content; a different graph under a taken name is a conflict).
+
+        With a store attached the graph is journaled and persisted
+        (atomic MmapCSR publish) before the registration returns, so
+        a recovering daemon serves it without a re-upload.
+        """
         if not name or "/" in name:
             raise ServiceError(
                 f"invalid graph name {name!r} (must be non-empty, "
@@ -345,15 +758,39 @@ class JobManager:
                     f"graph name {name!r} is already registered with "
                     f"different content (sha {existing.sha})"
                 )
+            store_path: str | None = None
+            if self.store is not None:
+                persisted = self.store.put_graph(name, graph, sha)
+                store_path = (
+                    str(persisted) if persisted is not None else None
+                )
+            elif self._supervisor is not None:
+                store_path = self._spill_graph(name, graph)
             registered = RegisteredGraph(
                 name=name,
                 graph=graph,
                 sha=sha,
                 created_unix=time.time(),
+                store_path=store_path,
             )
             self._graphs[name] = registered
             self.metrics.inc("service_graphs_registered_total")
         return registered
+
+    def _spill_graph(
+        self, name: str, graph: DirectedGraph
+    ) -> str | None:
+        """Process workers open graphs from disk; without a durable
+        store, spill the adjacency under the data dir."""
+        from repro.linalg.mmcsr import MmapCSR
+
+        directory = self.data_dir / "graphs" / name / "adjacency"
+        try:
+            if not directory.exists():
+                MmapCSR.from_scipy(graph.adjacency, directory)
+        except OSError:
+            return None
+        return str(directory)
 
     def graph(self, name: str) -> RegisteredGraph:
         with self._lock:
@@ -422,12 +859,29 @@ class JobManager:
                 spent,
             )
 
-    def submit(self, spec: JobSpec, client: str) -> tuple[Job, bool]:
+    def queue_depth(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for job in self._jobs.values()
+                if job.state == "queued"
+            )
+
+    def submit(
+        self,
+        spec: JobSpec,
+        client: str,
+        admission: bool = True,
+    ) -> tuple[Job, bool]:
         """Submit (or join) a job; returns ``(job, deduped)``.
 
         Raises :class:`BudgetExceeded` when ``client`` has exhausted
-        its wall-clock allowance, and :class:`ServiceError` for
-        unknown graphs / methods / clusterers.
+        its wall-clock allowance, :class:`ServiceOverloaded` when
+        the queue is at its admission bound (dedup riders are exempt
+        — joining an existing job admits no new work), and
+        :class:`ServiceError` for unknown graphs / methods /
+        clusterers. ``admission=False`` bypasses shedding (recovery
+        re-runs must always board).
         """
         with self._lock:
             if self._closed:
@@ -435,13 +889,32 @@ class JobManager:
             self._check_client_budget(client)
             key = self.job_key(spec)
             existing = self._by_key.get(key)
-            if existing is not None and existing.state != "failed":
+            if (
+                existing is not None
+                and existing.state not in _RETRYABLE_TERMINAL
+            ):
                 # Identical request: share the computation (or its
                 # recorded result). The rider is not charged.
                 if client not in existing.clients:
                     existing.clients.append(client)
                 self.metrics.inc("service_dedup_hits_total")
                 return existing, True
+            if (
+                admission
+                and self.max_queue_depth is not None
+                and sum(
+                    1
+                    for j in self._jobs.values()
+                    if j.state == "queued"
+                )
+                >= self.max_queue_depth
+            ):
+                self.metrics.inc("service_shed_total")
+                raise ServiceOverloaded(
+                    f"queue depth at bound "
+                    f"{self.max_queue_depth}; shedding",
+                    retry_after_s=self.shed_retry_after_s,
+                )
             job = Job(
                 job_id=f"job-{key[:16]}",
                 key=key,
@@ -457,8 +930,15 @@ class JobManager:
             self._jobs[job.job_id] = job
             self._by_key[key] = job
             self.metrics.inc("service_jobs_submitted_total")
+            if self.store is not None:
+                self.store.record_job_start(job)
+            # Copy the submitting context so ambient state installed
+            # by the caller (fault plans above all) reaches the
+            # worker thread — executor threads otherwise start from
+            # an empty context.
+            context = contextvars.copy_context()
             self._futures[job.job_id] = self._executor.submit(
-                self._execute, job, client
+                context.run, self._execute, job, client
             )
             return job, False
 
@@ -483,6 +963,17 @@ class JobManager:
             return {
                 "graphs": len(self._graphs),
                 "jobs": states,
+                "queue_depth": sum(
+                    1
+                    for j in self._jobs.values()
+                    if j.state == "queued"
+                ),
+                "worker_mode": self.worker_mode,
+                "store": (
+                    self.store.status()
+                    if self.store is not None
+                    else None
+                ),
                 "clients": {
                     client: {
                         "wall_s_spent": spent,
@@ -495,7 +986,67 @@ class JobManager:
             }
 
     # ------------------------------------------------------------------
-    # Execution (worker threads)
+    # Eviction (GC of finished jobs)
+    # ------------------------------------------------------------------
+    def evict_jobs(self, now: float | None = None) -> int:
+        """Apply the retention bounds to terminal jobs.
+
+        Oldest-finished-first: jobs older than ``max_job_age_s`` go,
+        then the oldest beyond ``max_jobs``. Evicts the in-memory
+        record, the persisted result, and the job's journal
+        directory. Returns the eviction count.
+        """
+        if self.max_jobs is None and self.max_job_age_s is None:
+            return 0
+        now = time.time() if now is None else now
+        with self._lock:
+            terminal = sorted(
+                (
+                    job
+                    for job in self._jobs.values()
+                    if job.done.is_set()
+                    and job.state in ("done", "failed", "crashed")
+                ),
+                key=lambda j: j.finished_unix or j.created_unix,
+            )
+            evict: list[Job] = []
+            if self.max_job_age_s is not None:
+                evict.extend(
+                    job
+                    for job in terminal
+                    if now - (job.finished_unix or job.created_unix)
+                    > self.max_job_age_s
+                )
+            if self.max_jobs is not None:
+                keep = [j for j in terminal if j not in evict]
+                overflow = len(keep) - self.max_jobs
+                if overflow > 0:
+                    evict.extend(keep[:overflow])
+            for job in evict:
+                self._jobs.pop(job.job_id, None)
+                if self._by_key.get(job.key) is job:
+                    self._by_key.pop(job.key, None)
+            evicted_keys = [job.key for job in evict]
+        for job in evict:
+            self._evict_job_files(job)
+        if evict:
+            self.metrics.inc(
+                "service_jobs_evicted_total", len(evict)
+            )
+            if self.store is not None:
+                self.store.record_eviction(evicted_keys)
+        return len(evict)
+
+    def _evict_job_files(self, job: Job) -> None:
+        import shutil
+
+        if self.store is not None:
+            self.store.evict_result(job.key)
+        with contextlib.suppress(OSError):
+            shutil.rmtree(job.journal_path.parent)
+
+    # ------------------------------------------------------------------
+    # Execution (worker threads, optionally worker processes)
     # ------------------------------------------------------------------
     def _execute(self, job: Job, client: str) -> None:
         job.state = "running"
@@ -503,33 +1054,74 @@ class JobManager:
         journal = RunJournal(job.journal_path, run_id=job.job_id)
         tracer = Tracer()
         job_metrics = MetricsRegistry()
-        registered = self.graph(job.spec.graph)
         manifest: RunManifest | None = None
         try:
-            # Isolated scope: the job sees the shared cache, its own
-            # tracer/metrics/journal, and nothing from whatever ran
-            # on this pooled thread before it.
-            with ambient_scope(
-                cache=self.cache,
-                tracer=tracer,
-                metrics=job_metrics,
-                journal=journal,
-                isolate=True,
+            registered = self.graph(job.spec.graph)
+            self.metrics.inc("service_job_executions_total")
+            supervised: dict[str, Any] | None = None
+            if (
+                self._supervisor is not None
+                and registered.store_path is not None
             ):
-                result, manifest = self._run_spec(
-                    job, registered, tracer, job_metrics
+                supervised = self._supervisor.run_job(
+                    self._worker_payload(job, registered)
                 )
+            if supervised is not None:
+                result, recorded, manifest = self._absorb_worker(
+                    job, supervised
+                )
+            else:
+                # In-thread path: thread mode, sandboxes without
+                # process pools, or graphs that never hit disk.
+                # Isolated scope: the job sees the shared cache, its
+                # own tracer/metrics/journal, and nothing from
+                # whatever ran on this pooled thread before it.
+                with ambient_scope(
+                    cache=self.cache,
+                    tracer=tracer,
+                    metrics=job_metrics,
+                    journal=journal,
+                    isolate=True,
+                ):
+                    result, recorded, manifest = execute_spec(
+                        job.spec,
+                        registered.graph,
+                        dataset_sha=registered.sha,
+                        cache=self.cache,
+                        budget=self.job_budget,
+                        retry=self.retry,
+                        tracer=tracer,
+                        job_metrics=job_metrics,
+                    )
+            job.warnings = recorded
             journal.finish("complete")
             job.result = result
             job.state = "done"
             self.metrics.inc("service_jobs_completed_total")
+            if self.store is not None:
+                # Publish the result *before* the job_end tombstone:
+                # a crash in between re-serves the published bytes
+                # instead of re-running (see the store invariants).
+                self.store.put_result(job)
         except Exception as exc:  # noqa: BLE001 - job boundary
             journal.finish("failed")
             job.error = str(exc)
-            job.error_type = type(exc).__name__
-            job.state = "failed"
+            job.error_type = getattr(
+                exc, "remote_type", None
+            ) or type(exc).__name__
+            job.error_code = getattr(
+                exc, "remote_code", None
+            ) or error_code_for(exc)
+            job.state = (
+                "crashed"
+                if isinstance(exc, WorkerCrashError)
+                and getattr(exc, "quarantined", False)
+                else "failed"
+            )
             self.metrics.inc("service_jobs_failed_total")
-            if isinstance(exc, BudgetExceeded):
+            if job.state == "crashed":
+                self.metrics.inc("service_jobs_crashed_total")
+            if job.error_code == "budget_exceeded":
                 self.metrics.inc("service_job_budget_overruns_total")
         finally:
             journal.close()
@@ -539,11 +1131,14 @@ class JobManager:
                     client, 0.0
                 ) + (job.finished_unix - job.started_unix)
                 self._futures.pop(job.job_id, None)
+            if self.store is not None:
+                self.store.record_job_end(job)
             if manifest is not None:
                 manifest.job = {
                     "job_id": job.job_id,
                     "key": job.key,
                     "clients": list(job.clients),
+                    "worker_mode": self.worker_mode,
                 }
                 try:
                     append_manifest(manifest, self.manifest_log)
@@ -552,187 +1147,85 @@ class JobManager:
                         "service_manifest_write_failures_total"
                     )
             job.done.set()
+            with contextlib.suppress(Exception):
+                self.evict_jobs()
 
-    def _plan_budget(self) -> Budget | None:
-        return self.job_budget
-
-    def _run_spec(
-        self,
-        job: Job,
-        registered: RegisteredGraph,
-        tracer: Tracer,
-        job_metrics: MetricsRegistry,
-    ) -> tuple[dict[str, Any], RunManifest | None]:
-        spec = job.spec
-        self.metrics.inc("service_job_executions_total")
-        if spec.kind == "cluster":
-            return self._run_cluster(job, registered)
-        if spec.kind == "symmetrize":
-            return self._run_symmetrize(
-                job, registered, tracer, job_metrics
-            )
-        return self._run_sweep(job, registered, tracer, job_metrics)
-
-    def _run_cluster(
+    def _worker_payload(
         self, job: Job, registered: RegisteredGraph
-    ) -> tuple[dict[str, Any], RunManifest | None]:
-        spec = job.spec
-        pipe = SymmetrizeClusterPipeline(
-            spec.method,
-            spec.clusterer,
-            threshold=spec.threshold,
-            mode=spec.mode,
-            tuning=spec.tuning,
-        )
-        result = pipe.run(
-            registered.graph,
-            n_clusters=spec.n_clusters,
-            plan_budget=self._plan_budget(),
-            retry=self.retry,
-        )
-        job.warnings = [
-            {"stage": w.stage, "code": w.code, "message": w.message}
-            for w in result.warnings
-        ]
-        labels = result.clustering.labels
-        payload = {
-            "kind": "cluster",
-            "labels": [int(v) for v in labels],
-            "labels_sha256": _labels_sha(labels),
-            "n_clusters": int(result.clustering.n_clusters),
-            "n_edges": int(result.symmetrized.n_edges),
-            "symmetrize_seconds": result.symmetrize_seconds,
-            "cluster_seconds": result.cluster_seconds,
-            "cache": result.cache,
-        }
-        return payload, result.manifest
-
-    def _run_symmetrize(
-        self,
-        job: Job,
-        registered: RegisteredGraph,
-        tracer: Tracer,
-        job_metrics: MetricsRegistry,
-    ) -> tuple[dict[str, Any], RunManifest | None]:
-        spec = job.spec
-        stages = [
-            ValidateInputStage(),
-            SymmetrizeStage(
-                get_symmetrization(spec.method),
-                threshold=spec.threshold,
+    ) -> dict[str, Any]:
+        budget = self.job_budget
+        retry = self.retry
+        return {
+            "job_id": job.job_id,
+            "graph_path": registered.store_path,
+            "dataset_sha": registered.sha,
+            "spec": job.spec.as_dict(),
+            "journal_path": str(job.journal_path),
+            "cache_dir": (
+                str(self.cache.directory)
+                if self.cache.directory is not None
+                else None
             ),
-        ]
-        plan = Plan(
-            stages,
-            initial=("graph",),
-            name=f"service.symmetrize.{spec.method}",
-        )
-        executor = Executor(
-            mode=spec.mode,
-            cache=self.cache,
-            plan_budget=self._plan_budget(),
-            retry=self.retry,
-        )
-        execution = executor.execute(
-            plan,
-            {"graph": registered.graph},
-            dataset_sha=registered.sha,
-        )
-        job.warnings = [
-            {"stage": w.stage, "code": w.code, "message": w.message}
-            for w in execution.warnings
-        ]
-        symmetrized = execution.values["symmetrized"]
-        payload = {
-            "kind": "symmetrize",
-            "n_nodes": int(symmetrized.n_nodes),
-            "n_edges": int(symmetrized.n_edges),
-            "result_sha": fingerprint_graph(symmetrized)["sha256"],
-            "seconds": execution.seconds("symmetrize"),
-            "cache": execution.cache_summary(),
-        }
-        manifest = self._service_manifest(
-            job, registered, tracer, job_metrics,
-            timings={
-                "symmetrize_seconds": execution.seconds("symmetrize")
-            },
-            cache=execution.cache_summary(),
-        )
-        return payload, manifest
-
-    def _run_sweep(
-        self,
-        job: Job,
-        registered: RegisteredGraph,
-        tracer: Tracer,
-        job_metrics: MetricsRegistry,
-    ) -> tuple[dict[str, Any], RunManifest | None]:
-        spec = job.spec
-        points = sweep_n_clusters(
-            registered.graph,
-            spec.method,
-            spec.clusterer,
-            list(spec.counts or ()),
-            threshold=spec.threshold,
-            cache=self.cache,
-            mode=spec.mode,
-            retry=self.retry,
-            plan_budget=self._plan_budget(),
-        )
-        payload = {
-            "kind": "sweep",
-            "points": [
+            "budget": (
                 {
-                    "parameter": point.parameter,
-                    "n_clusters": int(point.n_clusters),
-                    "average_f": point.average_f,
-                    "n_edges": int(point.n_edges),
-                    "cluster_seconds": point.cluster_seconds,
-                    "cache_hit": point.cache_hit,
-                    "failed": point.failed,
-                    "error": point.error,
+                    "wall_s": budget.wall_s,
+                    "mem_bytes": budget.mem_bytes,
                 }
-                for point in points
-            ],
-            "mean_average_f": aggregate_average_f(points),
+                if budget is not None
+                else None
+            ),
+            "retry": (
+                {
+                    "max_attempts": retry.max_attempts,
+                    "backoff_s": retry.backoff_s,
+                    "backoff_factor": retry.backoff_factor,
+                    "max_backoff_s": retry.max_backoff_s,
+                    "jitter": retry.jitter,
+                }
+                if retry is not None
+                else None
+            ),
         }
-        manifest = self._service_manifest(
-            job, registered, tracer, job_metrics,
-            timings={
-                "sweep_seconds": sum(
-                    p.cluster_seconds for p in points
-                )
-            },
-            cache={
-                "hits": sum(1 for p in points if p.cache_hit),
-                "misses": sum(
-                    1 for p in points if p.cache_hit is False
-                ),
-            },
-        )
-        return payload, manifest
 
-    def _service_manifest(
-        self,
-        job: Job,
-        registered: RegisteredGraph,
-        tracer: Tracer,
-        job_metrics: MetricsRegistry,
-        timings: dict[str, float],
-        cache: dict[str, Any],
-    ) -> RunManifest:
-        return RunManifest(
-            kind="service",
-            name=f"{job.spec.kind}.{job.spec.method}",
-            config=job.spec.as_dict(),
-            dataset=fingerprint_graph(registered.graph),
-            environment=collect_environment(),
-            warnings=job.warnings,
-            trace=tracer.as_dict().get("spans", []),
-            metrics=job_metrics.as_dict(),
-            cache=cache,
-            timings=timings,
-        )
+    def _absorb_worker(
+        self, job: Job, outcome: dict[str, Any]
+    ) -> tuple[
+        dict[str, Any], list[dict[str, str]], RunManifest | None
+    ]:
+        """Translate a worker process's outcome dict back into the
+        in-thread execution contract (result or typed raise)."""
+        if outcome.get("ok"):
+            manifest = None
+            if outcome.get("manifest") is not None:
+                with contextlib.suppress(ReproError, KeyError):
+                    manifest = RunManifest.from_dict(
+                        outcome["manifest"]
+                    )
+            return (
+                outcome.get("result") or {},
+                list(outcome.get("warnings") or []),
+                manifest,
+            )
+        code = outcome.get("code") or "internal"
+        message = str(outcome.get("error") or "worker failure")
+        if code == "budget_exceeded" and outcome.get("budget"):
+            fields = outcome["budget"]
+            raise BudgetExceeded(
+                str(fields.get("scope", "job")),
+                str(fields.get("resource", "wall_s")),
+                float(fields.get("limit", 0.0)),
+                float(fields.get("spent", 0.0)),
+            )
+        error: ReproError
+        if code == "transient":
+            error = TransientError(message)
+        elif code == "worker_crashed":
+            error = WorkerCrashError(message)
+        else:
+            error = ServiceError(message)
+        error.remote_type = outcome.get("error_type")  # type: ignore[attr-defined]
+        error.remote_code = code  # type: ignore[attr-defined]
+        raise error
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -755,10 +1248,15 @@ class JobManager:
                     job.state = "failed"
                     job.error = "cancelled at shutdown"
                     job.error_type = "Cancelled"
+                    job.error_code = "shutting_down"
                     job.done.set()
         done, not_done = concurrent.futures.wait(
             [f for f in pending.values() if not f.cancelled()],
             timeout=timeout,
         )
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._supervisor is not None:
+            self._supervisor.close()
+        if self.store is not None:
+            self.store.close()
         return not not_done

@@ -10,6 +10,8 @@ never block health checks or event streams.
 Endpoints
 ---------
 - ``GET  /health``            liveness + identity
+- ``GET  /livez``             bare liveness probe (always 200)
+- ``GET  /readyz``            readiness probe (503 while draining)
 - ``GET  /stats``             job/client/cache/metrics counters
 - ``POST /graphs``            register a graph (name + edge list)
 - ``GET  /graphs``            list registered graphs
@@ -19,25 +21,43 @@ Endpoints
 - ``GET  /jobs/<id>/events``  NDJSON stream of the job's journal
 - ``POST /shutdown``          drain and stop
 
-Error mapping: :class:`~repro.service.jobs.ServiceError` whose message
-starts with "no graph"/"no job" → 404, other validation failures →
-400, :class:`~repro.exceptions.BudgetExceeded` at submission → 429,
-anything unexpected → 500 with the exception type in the body.
+Error bodies are structured: ``{"error", "error_type", "code"}`` with
+``code`` from the failure taxonomy (``budget_exceeded``,
+``overloaded``, ``worker_crashed``, ``transient``,
+``invalid_request``, ``internal``), plus the structured budget fields
+for :class:`~repro.exceptions.BudgetExceeded` and ``retry_after_s``
+(mirrored in a ``Retry-After`` header) for 503/429s. Status mapping:
+"no graph"/"no job" :class:`~repro.service.jobs.ServiceError` → 404,
+name conflicts → 409, other validation failures → 400, budget
+denials → 429, overload shedding and shutdown → 503, anything
+unexpected → 500.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import time
 from typing import Any
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.engine import ArtifactCache, Budget, JournalTailer, RetryPolicy
-from repro.exceptions import BudgetExceeded, ReproError
+from repro.engine.chaos import chaos
+from repro.exceptions import (
+    BudgetExceeded,
+    ReproError,
+    ServiceOverloaded,
+)
 from repro.graph.digraph import DirectedGraph
 from repro.obs.metrics import MetricsRegistry
-from repro.service.jobs import JobManager, JobSpec, ServiceError
+from repro.service.jobs import (
+    JobManager,
+    JobSpec,
+    ServiceError,
+    error_code_for,
+)
+from repro.service.store import ServiceStore
 
 __all__ = ["ServiceServer", "serve"]
 
@@ -66,12 +86,16 @@ def _json_bytes(payload: Any) -> bytes:
 def _status_for(exc: Exception) -> int:
     if isinstance(exc, BudgetExceeded):
         return 429
+    if isinstance(exc, ServiceOverloaded):
+        return 503
     if isinstance(exc, ServiceError):
         message = str(exc)
         if message.startswith(("no graph", "no job")):
             return 404
         if "already registered" in message:
             return 409
+        if "shutting down" in message:
+            return 503
         return 400
     if isinstance(exc, ReproError):
         return 400
@@ -98,6 +122,13 @@ class ServiceServer:
         client_wall_s: float | None = None,
         retry: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        store: ServiceStore | None = None,
+        worker_mode: str = "thread",
+        max_queue_depth: int | None = None,
+        shed_retry_after_s: float = 1.0,
+        max_jobs: int | None = None,
+        max_job_age_s: float | None = None,
+        stream_drain_s: float = 10.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -109,10 +140,18 @@ class ServiceServer:
             client_wall_s=client_wall_s,
             retry=retry,
             metrics=metrics,
+            store=store,
+            worker_mode=worker_mode,
+            max_queue_depth=max_queue_depth,
+            shed_retry_after_s=shed_retry_after_s,
+            max_jobs=max_jobs,
+            max_job_age_s=max_job_age_s,
         )
         self.started_unix = time.time()
+        self.stream_drain_s = stream_drain_s
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
+        self._streams: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -127,16 +166,38 @@ class ServiceServer:
         """Serve until ``POST /shutdown`` (or :meth:`request_shutdown`).
 
         Returns ``True`` when the job manager drained cleanly.
+
+        Shutdown ordering matters: the listening socket closes first
+        (no new connections), then the manager drains its jobs, and
+        only then do we wait on the server's connection handlers —
+        open NDJSON event streams keep tailing until their job
+        finishes and the ``job_end`` sentinel is written, so a slow
+        reader attached at ``/shutdown`` time still sees the full
+        stream (bounded by ``stream_drain_s``). Waiting on handlers
+        *before* the drain would deadlock: streams poll until their
+        jobs complete, and ``Server.wait_closed`` (3.12.1+) waits
+        for the handlers.
         """
         if self._server is None:
             await self.start()
         assert self._server is not None
-        async with self._server:
-            await self._shutdown.wait()
+        await self._shutdown.wait()
+        self._server.close()
         # Drain jobs off-loop: close() blocks on running futures.
         clean = await asyncio.get_running_loop().run_in_executor(
             None, self.manager.close
         )
+        streams = {t for t in self._streams if not t.done()}
+        if streams:
+            _done, pending = await asyncio.wait(
+                streams, timeout=self.stream_drain_s
+            )
+            for task in pending:  # reader never drained; cut it off
+                task.cancel()
+        with contextlib.suppress(Exception):
+            await asyncio.wait_for(
+                self._server.wait_closed(), timeout=5.0
+            )
         return clean
 
     def request_shutdown(self) -> None:
@@ -218,6 +279,12 @@ class ServiceServer:
         route = (method, path)
         if route == ("GET", "/health"):
             return await self._respond(writer, 200, self._health())
+        if route == ("GET", "/livez"):
+            return await self._respond(
+                writer, 200, {"status": "alive"}
+            )
+        if route == ("GET", "/readyz"):
+            return await self._readyz(writer)
         if route == ("GET", "/stats"):
             return await self._respond(writer, 200, self.manager.stats())
         if route == ("GET", "/graphs"):
@@ -251,6 +318,32 @@ class ServiceServer:
             "status": "ok",
             "uptime_seconds": time.time() - self.started_unix,
         }
+
+    async def _readyz(self, writer: asyncio.StreamWriter) -> None:
+        """Readiness: 503 while shutting down, 200 otherwise.
+
+        The probe doubles as the disk-space watchdog's poll point —
+        deployments hit it periodically, which is exactly the cadence
+        the store's free-space check wants.
+        """
+        store = self.manager.store
+        if store is not None:
+            store.check_disk()
+        if self._shutdown.is_set():
+            return await self._respond(
+                writer,
+                503,
+                {"ready": False, "reason": "shutting_down"},
+                headers={"Retry-After": "1"},
+            )
+        payload: dict[str, Any] = {
+            "ready": True,
+            "queue_depth": self.manager.queue_depth(),
+            "worker_mode": self.manager.worker_mode,
+        }
+        if store is not None:
+            payload["store"] = store.status()
+        return await self._respond(writer, 200, payload)
 
     @staticmethod
     def _parse_json(body: bytes) -> dict[str, Any]:
@@ -290,6 +383,7 @@ class ServiceServer:
         headers: dict[str, str],
         body: bytes,
     ) -> None:
+        chaos("service.accept")
         payload = self._parse_json(body)
         client = str(
             payload.pop("client", None)
@@ -331,6 +425,12 @@ class ServiceServer:
         self, writer: asyncio.StreamWriter, job_id: str
     ) -> None:
         job = self.manager.job(job_id)
+        # Register this handler so shutdown lets it drain to the
+        # job_end sentinel before the server stops waiting on it.
+        task = asyncio.current_task()
+        if task is not None:
+            self._streams.add(task)
+            task.add_done_callback(self._streams.discard)
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: application/x-ndjson\r\n"
@@ -374,17 +474,27 @@ class ServiceServer:
         429: "Too Many Requests",
         431: "Request Header Fields Too Large",
         500: "Internal Server Error",
+        503: "Service Unavailable",
     }
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: Any
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        headers: dict[str, str] | None = None,
     ) -> None:
         body = _json_bytes(payload)
         reason = self._REASONS.get(status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n\r\n"
         ).encode()
         writer.write(head + body)
@@ -393,12 +503,42 @@ class ServiceServer:
     async def _respond_error(
         self, writer: asyncio.StreamWriter, status: int, exc: Exception
     ) -> None:
+        """Structured error body: message, exception type, and a
+        machine-readable ``code`` from the failure taxonomy; budget
+        overruns keep their structured fields and 503/429s carry
+        ``Retry-After``."""
         error_type = getattr(exc, "error_type", "") or type(exc).__name__
-        await self._respond(
-            writer,
-            status,
-            {"error": str(exc), "error_type": error_type},
-        )
+        code = error_code_for(exc)
+        if status == 404:
+            code = "not_found"
+        elif status == 409:
+            code = "conflict"
+        elif status == 503 and not isinstance(exc, ServiceOverloaded):
+            code = "shutting_down"
+        elif code == "internal" and 400 <= status < 500:
+            code = "invalid_request"
+        body: dict[str, Any] = {
+            "error": str(exc),
+            "error_type": error_type,
+            "code": code,
+        }
+        headers: dict[str, str] = {}
+        if isinstance(exc, BudgetExceeded):
+            body.update(
+                scope=exc.scope,
+                resource=exc.resource,
+                limit=exc.limit,
+                spent=exc.spent,
+            )
+            headers["Retry-After"] = "1"
+        if isinstance(exc, ServiceOverloaded):
+            body["retry_after_s"] = exc.retry_after_s
+            headers["Retry-After"] = str(
+                max(1, int(round(exc.retry_after_s)))
+            )
+        if status == 503 and "Retry-After" not in headers:
+            headers["Retry-After"] = "1"
+        await self._respond(writer, status, body, headers=headers)
 
 
 async def _serve_async(server: ServiceServer) -> bool:

@@ -1,0 +1,383 @@
+"""Durable state for the clustering service daemon.
+
+:class:`ServiceStore` is the persistence layer behind
+``repro serve --state-dir``: everything the daemon must not lose
+across a SIGKILL lives under one directory:
+
+.. code-block:: text
+
+    <state_dir>/
+        service.journal.jsonl     write-ahead service journal (WAL)
+        graphs/<name>/adjacency/  MmapCSR store per registered graph
+        results/<k0k1>/<key>.json content-addressed job results
+        jobs/<job_id>/journal.jsonl   per-job journals (JobManager)
+        manifests.jsonl               run manifests (JobManager)
+
+Three invariants make recovery exact:
+
+- **WAL before publish.** A ``graph_registered`` record (name + the
+  *original* in-RAM fingerprint) is journaled before the MmapCSR
+  directory is published. The fingerprint hashes index bytes, so a
+  recovered (int32-index) store would re-hash differently — recovery
+  trusts the recorded sha, keeping job content addresses stable
+  across restarts.
+- **Atomic publishes.** Graphs commit via MmapCSR's tmp-dir +
+  ``os.replace`` protocol; results via tmp-file + ``os.replace``. A
+  crash mid-write leaves either the old state or nothing — never a
+  torn entry (torn graph dirs raise ``StorageError`` and are skipped
+  on recovery).
+- **Tombstone ordering.** ``job_start`` is journaled at submission,
+  the result file is published on completion, and ``job_end`` is
+  journaled last. A job is *incomplete* (and re-run on recovery) iff
+  it has a start, no end, and no result file — so a crash between
+  result publish and ``job_end`` re-serves the published result
+  instead of recomputing.
+
+Degradation: any ``OSError`` on a write path (ENOSPC included) flips
+the store read-only instead of killing the daemon — jobs keep
+executing from memory, persistence resumes on restart. A disk-space
+watchdog (:meth:`check_disk`) does the same pre-emptively.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.chaos import chaos
+from repro.engine.journal import RunJournal, read_journal
+from repro.exceptions import ExecutionWarning, ReproError, StorageError
+from repro.linalg.mmcsr import MmapCSR
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.digraph import DirectedGraph
+
+__all__ = ["STORE_SCHEMA", "ServiceStore"]
+
+#: Schema marker written into every persisted result payload.
+STORE_SCHEMA = "repro-service-store/v1"
+
+#: Default free-space floor before the watchdog flips read-only.
+_MIN_FREE_BYTES = 32 * 1024 * 1024
+
+
+class ServiceStore:
+    """Crash-safe persistence for graphs, results and job tombstones.
+
+    Parameters
+    ----------
+    state_dir:
+        Root of the durable state (created if missing).
+    metrics:
+        Counter registry (typically the :class:`JobManager`'s); a
+        private one is created when omitted.
+    min_free_bytes:
+        Disk-space watchdog threshold for :meth:`check_disk`.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        metrics: MetricsRegistry | None = None,
+        min_free_bytes: int = _MIN_FREE_BYTES,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.graphs_dir = self.state_dir / "graphs"
+        self.results_dir = self.state_dir / "results"
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self.min_free_bytes = min_free_bytes
+        self.read_only = False
+        self.journal = RunJournal(
+            self.state_dir / "service.journal.jsonl",
+            run_id="service",
+        )
+
+    # ------------------------------------------------------------------
+    # Degradation
+    # ------------------------------------------------------------------
+    def _degrade(self, why: str) -> None:
+        if not self.read_only:
+            self.read_only = True
+            self.metrics.inc("service_store_degraded_total")
+            self.metrics.set("service_store_read_only", 1.0)
+            warnings.warn(
+                ExecutionWarning(
+                    f"service store {self.state_dir} degraded to "
+                    f"read-only: {why}",
+                    code="store_degraded",
+                ),
+                stacklevel=3,
+            )
+
+    def check_disk(self) -> bool:
+        """Disk-space watchdog: flip read-only when free space drops
+        below ``min_free_bytes``. Returns ``True`` while writable."""
+        if self.read_only:
+            return False
+        try:
+            free = shutil.disk_usage(self.state_dir).free
+        except OSError:
+            return not self.read_only
+        if free < self.min_free_bytes:
+            self._degrade(
+                f"free disk {free} B below floor "
+                f"{self.min_free_bytes} B"
+            )
+        return not self.read_only
+
+    # ------------------------------------------------------------------
+    # Graphs
+    # ------------------------------------------------------------------
+    def graph_dir(self, name: str) -> Path:
+        return self.graphs_dir / name / "adjacency"
+
+    def put_graph(
+        self, name: str, graph: "DirectedGraph", sha: str
+    ) -> Path | None:
+        """Persist a registered graph (WAL record, then atomic
+        MmapCSR publish). Returns the store path, or ``None`` when
+        the store is read-only / the write failed."""
+        if self.read_only:
+            return None
+        directory = self.graph_dir(name)
+        if directory.exists():
+            return directory
+        try:
+            chaos("service.store_put")
+            self.journal.append(
+                {
+                    "type": "graph_registered",
+                    "name": name,
+                    "sha": sha,
+                    "created_unix": time.time(),
+                }
+            )
+            MmapCSR.from_scipy(graph.adjacency, directory)
+        except OSError as exc:
+            self._degrade(f"graph put {name!r} failed: {exc}")
+            return None
+        return directory
+
+    def load_graphs(
+        self,
+    ) -> list[tuple[str, "DirectedGraph", str, float]]:
+        """Recover every intact persisted graph.
+
+        Returns ``(name, graph, sha, created_unix)`` tuples; the sha
+        is the WAL-recorded original fingerprint (see module notes).
+        Torn or sha-less directories are skipped, not fatal.
+        """
+        from repro.graph.digraph import DirectedGraph
+
+        recorded: dict[str, dict[str, Any]] = {}
+        for record in self._wal_records():
+            if record.get("type") == "graph_registered":
+                recorded[str(record.get("name"))] = record
+        out: list[tuple[str, "DirectedGraph", str, float]] = []
+        if not self.graphs_dir.is_dir():
+            return out
+        for entry in sorted(self.graphs_dir.iterdir()):
+            record = recorded.get(entry.name)
+            if record is None or not isinstance(
+                record.get("sha"), str
+            ):
+                continue  # published without a WAL record: unusable
+            try:
+                store = MmapCSR.open(entry / "adjacency")
+                graph = DirectedGraph.from_mmcsr(
+                    store, validate="none"
+                )
+            except (StorageError, ReproError, OSError):
+                continue  # torn publish; the WAL-first crash window
+            out.append(
+                (
+                    entry.name,
+                    graph,
+                    str(record["sha"]),
+                    float(record.get("created_unix", 0.0)),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Results (content-addressed by job key)
+    # ------------------------------------------------------------------
+    def result_path(self, key: str) -> Path:
+        return self.results_dir / key[:2] / f"{key}.json"
+
+    def put_result(self, job: Any) -> bool:
+        """Atomically publish a finished job's result payload.
+
+        Keyed by the job's content address; returns ``False`` (and
+        degrades to read-only) on any write failure. Must be called
+        *before* :meth:`record_job_end` — see the tombstone-ordering
+        invariant.
+        """
+        if self.read_only or not self.check_disk():
+            return False
+        path = self.result_path(job.key)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        payload = {
+            "schema": STORE_SCHEMA,
+            "key": job.key,
+            "job_id": job.job_id,
+            "clients": list(job.clients),
+            "spec": job.spec.as_dict(),
+            "state": job.state,
+            "result": job.result,
+            "warnings": job.warnings,
+            "error": job.error,
+            "error_type": job.error_type,
+            "created_unix": job.created_unix,
+            "started_unix": job.started_unix,
+            "finished_unix": job.finished_unix,
+        }
+        try:
+            chaos("service.store_put")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with tmp.open("w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            self._degrade(f"result put {job.key} failed: {exc}")
+            return False
+        return True
+
+    def load_results(self) -> dict[str, dict[str, Any]]:
+        """Every intact persisted result, keyed by content address."""
+        out: dict[str, dict[str, Any]] = {}
+        if not self.results_dir.is_dir():
+            return out
+        for path in sorted(self.results_dir.glob("*/*.json")):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if payload.get("schema") != STORE_SCHEMA:
+                continue
+            key = payload.get("key")
+            if isinstance(key, str) and key:
+                out[key] = payload
+        return out
+
+    def evict_result(self, key: str) -> None:
+        with_suppress = self.result_path(key)
+        try:
+            with_suppress.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Job tombstones (the WAL)
+    # ------------------------------------------------------------------
+    def record_job_start(self, job: Any) -> None:
+        if self.read_only:
+            return
+        self.journal.append(
+            {
+                "type": "job_start",
+                "job_id": job.job_id,
+                "key": job.key,
+                "client": job.clients[0] if job.clients else None,
+                "spec": job.spec.as_dict(),
+                "created_unix": job.created_unix,
+            }
+        )
+
+    def record_job_end(self, job: Any) -> None:
+        if self.read_only:
+            return
+        self.journal.append(
+            {
+                "type": "job_end",
+                "job_id": job.job_id,
+                "key": job.key,
+                "state": job.state,
+            }
+        )
+
+    def record_eviction(self, keys: list[str]) -> None:
+        if self.read_only or not keys:
+            return
+        self.journal.append(
+            {
+                "type": "jobs_evicted",
+                "keys": list(keys),
+                "count": len(keys),
+            }
+        )
+
+    def incomplete_jobs(self) -> list[dict[str, Any]]:
+        """``job_start`` tombstones with no ``job_end`` *and* no
+        published result — the jobs a recovering daemon must re-run.
+
+        Replays the WAL in order, so a key that was started, ended,
+        evicted and re-started resolves to its latest state.
+        """
+        latest: dict[str, dict[str, Any]] = {}
+        ended: set[str] = set()
+        for record in self._wal_records():
+            kind = record.get("type")
+            key = record.get("key")
+            if kind == "job_start" and isinstance(key, str):
+                latest[key] = record
+                ended.discard(key)
+            elif kind == "job_end" and isinstance(key, str):
+                ended.add(key)
+            elif kind == "jobs_evicted":
+                for evicted in record.get("keys", ()):
+                    latest.pop(evicted, None)
+                    ended.discard(evicted)
+        return [
+            record
+            for key, record in latest.items()
+            if key not in ended
+            and not self.result_path(key).exists()
+        ]
+
+    def _wal_records(self) -> list[dict[str, Any]]:
+        path = self.journal.path
+        if not path.exists():
+            return []
+        try:
+            return read_journal(path)
+        except ReproError:
+            # A corrupt WAL interior costs recovery detail, never
+            # the daemon itself: fall back to best-effort line scan.
+            records: list[dict[str, Any]] = []
+            for line in path.read_text().splitlines():
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+            return records
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        return {
+            "state_dir": str(self.state_dir),
+            "read_only": self.read_only,
+        }
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def __repr__(self) -> str:
+        mode = "read-only" if self.read_only else "read-write"
+        return f"ServiceStore({str(self.state_dir)!r}, {mode})"

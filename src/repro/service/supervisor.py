@@ -1,0 +1,240 @@
+"""Supervised process workers for the service daemon.
+
+``worker_mode="process"`` moves job execution out of the daemon's
+address space: each job runs in a :class:`~repro.engine.pool.WorkerPool`
+worker process, so a hard crash (segfault, OOM kill, ``os._exit``)
+costs one worker, not the daemon. The supervisor closes the loop:
+
+- **Crash detection.** A dead worker surfaces as a lost payload
+  (the pool's ``BrokenProcessPool`` path); the supervisor's fallback
+  returns a sentinel instead of re-running in-process, so the loss
+  is observed rather than silently absorbed.
+- **Retry.** Lost jobs are re-run under the manager's
+  :class:`~repro.engine.RetryPolicy` (deterministic backoff keyed by
+  job id). The chaos site ``service.worker`` arms exactly one
+  worker death per triggered fault, which is how the quarantine
+  tests stay deterministic.
+- **Quarantine.** A job that kills ``max_crashes`` workers is
+  abandoned with a :class:`~repro.exceptions.WorkerCrashError`
+  marked ``quarantined`` — the manager records it in the terminal
+  ``crashed`` state, which is never dedup-cached, so resubmitting
+  the same spec runs fresh.
+
+Workers execute the same :func:`~repro.service.jobs.execute_spec`
+path as in-thread jobs, inside their own ambient scope, appending to
+the same per-job journal file (O_APPEND keeps parent and worker
+writes atomic), opening the graph zero-copy from its MmapCSR store.
+Failures inside the worker come back as structured outcome dicts
+(``code`` from the failure taxonomy, budget fields preserved) —
+exceptions never cross the process boundary as opaque pickles.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.engine.chaos import chaos
+from repro.engine.policy import RetryPolicy
+from repro.engine.pool import WorkerPool
+from repro.exceptions import WorkerCrashError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["WorkerSupervisor", "run_job_payload"]
+
+#: Fallback sentinel marking a payload lost to a dead worker.
+_LOST = "__repro_worker_lost__"
+
+
+def _lost(_payload: dict[str, Any]) -> str:
+    return _LOST
+
+
+def run_job_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Worker-process entry point: execute one job payload.
+
+    Returns an outcome dict — ``{"ok": True, result, warnings,
+    manifest}`` or ``{"ok": False, error, error_type, code,
+    budget?}`` — never raises (the process boundary gets data, not
+    pickled tracebacks). Imports live inside the function: the
+    module must stay light to import in freshly spawned workers, and
+    a top-level import of :mod:`repro.service.jobs` would be
+    circular.
+    """
+    if payload.get("chaos_exit"):
+        os._exit(1)
+    from repro.engine import (
+        ArtifactCache,
+        Budget,
+        RetryPolicy as _RetryPolicy,
+        RunJournal,
+        ambient_scope,
+    )
+    from repro.exceptions import BudgetExceeded
+    from repro.graph.digraph import DirectedGraph
+    from repro.obs.metrics import MetricsRegistry as _Metrics
+    from repro.obs.trace import Tracer
+    from repro.service.jobs import (
+        JobSpec,
+        error_code_for,
+        execute_spec,
+    )
+
+    try:
+        spec = JobSpec.from_dict(dict(payload["spec"]))
+        graph = DirectedGraph.from_mmcsr(
+            payload["graph_path"], validate="none"
+        )
+        budget = (
+            Budget(**payload["budget"])
+            if payload.get("budget")
+            else None
+        )
+        retry = (
+            _RetryPolicy(**payload["retry"])
+            if payload.get("retry")
+            else None
+        )
+        cache = (
+            ArtifactCache(directory=payload["cache_dir"])
+            if payload.get("cache_dir")
+            else ArtifactCache()
+        )
+        tracer = Tracer()
+        job_metrics = _Metrics()
+        journal = RunJournal(
+            payload["journal_path"], run_id=payload["job_id"]
+        )
+        try:
+            with ambient_scope(
+                cache=cache,
+                tracer=tracer,
+                metrics=job_metrics,
+                journal=journal,
+                isolate=True,
+            ):
+                result, recorded, manifest = execute_spec(
+                    spec,
+                    graph,
+                    dataset_sha=payload["dataset_sha"],
+                    cache=cache,
+                    budget=budget,
+                    retry=retry,
+                    tracer=tracer,
+                    job_metrics=job_metrics,
+                )
+        finally:
+            journal.close()
+        return {
+            "ok": True,
+            "result": result,
+            "warnings": recorded,
+            "manifest": (
+                manifest.as_dict() if manifest is not None else None
+            ),
+        }
+    except BudgetExceeded as exc:
+        return {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "code": "budget_exceeded",
+            "budget": {
+                "scope": exc.scope,
+                "resource": exc.resource,
+                "limit": exc.limit,
+                "spent": exc.spent,
+            },
+        }
+    except Exception as exc:  # noqa: BLE001 - process boundary
+        return {
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+            "code": error_code_for(exc),
+        }
+
+
+class WorkerSupervisor:
+    """Runs job payloads in worker processes with crash recovery.
+
+    Parameters
+    ----------
+    max_workers:
+        Size of the underlying :class:`WorkerPool`.
+    retry:
+        Backoff policy between worker-crash re-runs (the default
+        engine policy when omitted).
+    max_crashes:
+        Worker deaths a single job may cause before quarantine.
+    metrics:
+        Counter registry (``service_worker_crashes_total``).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        retry: RetryPolicy | None = None,
+        max_crashes: int = 2,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.pool = WorkerPool(max_workers)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.max_crashes = max_crashes
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+
+    def run_job(
+        self, payload: dict[str, Any]
+    ) -> dict[str, Any] | None:
+        """Execute ``payload`` in a worker, supervising for death.
+
+        Returns the worker's outcome dict, or ``None`` when no
+        process pool can be created in this environment (the caller
+        runs its in-thread path instead). Raises a ``quarantined``
+        :class:`WorkerCrashError` after ``max_crashes`` deaths.
+        """
+        job_id = str(payload.get("job_id", "?"))
+        crashes = 0
+        while True:
+            # Flag faults are decided in the parent: contextvar
+            # plans do not cross the process boundary, so the worker
+            # is told to die via the payload (allpairs precedent).
+            flag = chaos("service.worker")
+            attempt_payload = dict(
+                payload,
+                chaos_exit=(
+                    flag is not None and flag.kind == "kill_worker"
+                ),
+            )
+            results = self.pool.run(
+                run_job_payload, [attempt_payload], fallback=_lost
+            )
+            if results is None:
+                return None
+            outcome = results[0]
+            if outcome != _LOST:
+                return outcome
+            crashes += 1
+            self.metrics.inc("service_worker_crashes_total")
+            if crashes >= self.max_crashes:
+                error = WorkerCrashError(
+                    f"job {job_id} crashed {crashes} worker "
+                    f"process(es); quarantined"
+                )
+                error.quarantined = True  # type: ignore[attr-defined]
+                raise error
+            time.sleep(
+                min(self.retry.delay(crashes, token=job_id), 2.0)
+            )
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerSupervisor(pool={self.pool!r}, "
+            f"max_crashes={self.max_crashes})"
+        )

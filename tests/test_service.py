@@ -26,7 +26,7 @@ from repro.engine import (
     current_journal,
     current_pool,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import BudgetExceeded, ReproError
 from repro.graph import DirectedGraph
 from repro.obs.metrics import MetricsRegistry, current_metrics
 from repro.obs.trace import Tracer, current_tracer
@@ -601,7 +601,7 @@ class TestServiceIntegration:
             with pytest.raises(ServiceError, match="no job"):
                 client.job("job-missing")
 
-    def test_budget_denial_maps_to_429(
+    def test_budget_denial_reconstructs_budget_exceeded(
         self, tmp_path, small_graph
     ) -> None:
         with live_server(
@@ -613,13 +613,17 @@ class TestServiceIntegration:
             client.register_graph("cora", small_graph)
             sub = client.submit(kind="symmetrize", graph="cora")
             client.result(sub["job_id"], timeout=60)
-            with pytest.raises(ServiceHTTPError) as excinfo:
+            # The structured 429 body round-trips into a real
+            # BudgetExceeded with its fields intact.
+            with pytest.raises(BudgetExceeded) as excinfo:
                 client.submit(
                     kind="symmetrize",
                     graph="cora",
                     mode="lenient",
                 )
-            assert excinfo.value.status == 429
+            assert excinfo.value.scope == "client:greedy"
+            assert excinfo.value.resource == "wall_s"
+            assert excinfo.value.limit == 1e-9
 
     def test_jobs_listing_and_wait(
         self, tmp_path, small_graph

@@ -12,11 +12,19 @@ criteria end to end:
 3. ``POST /shutdown`` drains the daemon to a clean exit (code 0)
    within the deadline, leaving no child processes behind.
 
+``--chaos`` runs the durability smoke instead: boot with
+``--state-dir``, complete one job, SIGKILL the daemon mid-flight on a
+second job, restart against the same state directory, and assert the
+graph and the finished result are recovered (no re-registration, the
+same labels hash, zero re-executions for the recovered result) before
+draining cleanly.
+
 Exit code 0 on success, 1 with a diagnostic on any violation.
 
 Usage::
 
     PYTHONPATH=src python tools/serve_smoke.py [--deadline 60]
+    PYTHONPATH=src python tools/serve_smoke.py --chaos [--deadline 90]
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from __future__ import annotations
 import argparse
 import os
 import re
+import signal
 import subprocess
 import sys
 import tempfile
@@ -33,55 +42,67 @@ from pathlib import Path
 SRC = Path(__file__).resolve().parent.parent / "src"
 sys.path.insert(0, str(SRC))
 
+_RECOVERY = re.compile(
+    r"recovered (\d+) graph\(s\), (\d+) result\(s\); "
+    r"re-running (\d+) incomplete job\(s\)"
+)
+
 
 def fail(message: str) -> int:
     print(f"serve-smoke FAIL: {message}", file=sys.stderr)
     return 1
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--deadline",
-        type=float,
-        default=60.0,
-        help="seconds allowed for the whole boot/submit/drain cycle",
-    )
-    args = parser.parse_args()
-    started = time.monotonic()
+def boot(extra_args: list[str]) -> tuple[subprocess.Popen, int, list[str]]:
+    """Start the daemon; return (process, port, stdout lines so far).
 
+    Reads stdout until the listen line announces the bound ephemeral
+    port — any recovery summary printed before it is captured in the
+    returned lines.
+    """
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"]
+        + extra_args,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": str(SRC)},
+    )
+    assert daemon.stdout is not None
+    lines: list[str] = []
+    for _ in range(20):
+        line = daemon.stdout.readline()
+        if not line:
+            break
+        lines.append(line.rstrip("\n"))
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            return daemon, int(match.group(1)), lines
+    daemon.kill()
+    daemon.wait(10)
+    raise RuntimeError(f"no listen line in daemon output: {lines!r}")
+
+
+def drain(daemon: subprocess.Popen, client, deadline_s: float) -> int | None:
+    """Shut the daemon down; return its exit code (None on timeout)."""
+    client.shutdown()
+    try:
+        return daemon.wait(timeout=max(deadline_s, 1.0))
+    except subprocess.TimeoutExpired:
+        return None
+
+
+def run_plain(args: argparse.Namespace, started: float) -> int:
     from repro.datasets import make_cora_like
     from repro.service import ServiceClient
 
     graph = make_cora_like(n_nodes=200, n_categories=4, seed=7).graph
 
     with tempfile.TemporaryDirectory() as tmp:
-        daemon = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro",
-                "serve",
-                "--port",
-                "0",
-                "--data-dir",
-                str(Path(tmp) / "svc"),
-                "--workers",
-                "2",
-            ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
-            env={**os.environ, "PYTHONPATH": str(SRC)},
+        daemon, port, _ = boot(
+            ["--data-dir", str(Path(tmp) / "svc"), "--workers", "2"]
         )
         try:
-            # The daemon announces its bound ephemeral port on stdout.
-            assert daemon.stdout is not None
-            line = daemon.stdout.readline()
-            match = re.search(r"http://[\d.]+:(\d+)", line)
-            if not match:
-                return fail(f"no listen line, got {line!r}")
-            port = int(match.group(1))
             client = ServiceClient(
                 "127.0.0.1", port, client="smoke", timeout=30.0
             )
@@ -117,11 +138,9 @@ def main() -> int:
             if counters.get("service_job_executions_total") != 2:
                 return fail(f"expected 2 executions, got {counters}")
 
-            client.shutdown()
             remaining = args.deadline - (time.monotonic() - started)
-            try:
-                code = daemon.wait(timeout=max(remaining, 1.0))
-            except subprocess.TimeoutExpired:
+            code = drain(daemon, client, remaining)
+            if code is None:
                 return fail(
                     f"daemon did not drain within {args.deadline}s"
                 )
@@ -138,6 +157,141 @@ def main() -> int:
         f"in {elapsed:.1f}s"
     )
     return 0
+
+
+def run_chaos(args: argparse.Namespace, started: float) -> int:
+    from repro.datasets import make_cora_like
+    from repro.service import ServiceClient
+
+    graph = make_cora_like(n_nodes=200, n_categories=4, seed=7).graph
+
+    with tempfile.TemporaryDirectory() as tmp:
+        state = str(Path(tmp) / "state")
+        serve_args = ["--state-dir", state, "--workers", "2"]
+
+        # Phase 1: durable daemon, one finished job, one in flight,
+        # then SIGKILL — no drain, no warning, lights out.
+        daemon, port, lines = boot(serve_args)
+        killed_cleanly = False
+        try:
+            if not any(_RECOVERY.search(ln) for ln in lines):
+                return fail(f"no recovery summary on boot: {lines!r}")
+            client = ServiceClient(
+                "127.0.0.1", port, client="chaos", timeout=30.0
+            )
+            client.register_graph("cora", graph)
+            done = client.submit(
+                kind="cluster", graph="cora", n_clusters=8
+            )
+            finished = client.result(done["job_id"], timeout=60)
+            reference_sha = finished["labels_sha256"]
+            # A second, distinct job goes in and the daemon dies with
+            # it (possibly) still running.
+            client.submit(kind="cluster", graph="cora", n_clusters=16)
+            daemon.send_signal(signal.SIGKILL)
+            daemon.wait(10)
+            killed_cleanly = True
+        finally:
+            if not killed_cleanly and daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(10)
+
+        # Phase 2: restart against the same state dir. The graph and
+        # the finished result must come back without re-registration.
+        daemon, port, lines = boot(serve_args)
+        try:
+            summary = next(
+                (m for ln in lines if (m := _RECOVERY.search(ln))),
+                None,
+            )
+            if summary is None:
+                return fail(f"no recovery summary on restart: {lines!r}")
+            graphs, results, rerun = (
+                int(summary.group(1)),
+                int(summary.group(2)),
+                int(summary.group(3)),
+            )
+            if graphs != 1:
+                return fail(f"expected 1 recovered graph, got {graphs}")
+            if results < 1:
+                return fail(
+                    f"expected >=1 recovered result, got {results}"
+                )
+            print(
+                f"serve-smoke chaos: restart recovered {graphs} "
+                f"graph(s), {results} result(s), re-ran {rerun}"
+            )
+
+            client = ServiceClient(
+                "127.0.0.1", port, client="chaos", timeout=30.0
+            )
+            # No register_graph here: submitting against the
+            # recovered graph proves it survived the kill.
+            resub = client.submit(
+                kind="cluster", graph="cora", n_clusters=8
+            )
+            if not resub["deduped"]:
+                return fail(
+                    "finished job was not served from recovered state"
+                )
+            recovered = client.result(resub["job_id"], timeout=60)
+            if recovered["labels_sha256"] != reference_sha:
+                return fail(
+                    "recovered result not byte-identical: "
+                    f"{recovered['labels_sha256']} != {reference_sha}"
+                )
+            counters = client.stats()["metrics"]["counters"]
+            if counters.get("service_results_recovered_total", 0) < 1:
+                return fail(f"recovery counters missing: {counters}")
+
+            # The in-flight job converges too — recovered or re-run,
+            # resubmission must reach a done state with labels.
+            second = client.submit(
+                kind="cluster", graph="cora", n_clusters=16
+            )
+            other = client.result(second["job_id"], timeout=60)
+            if other["labels_sha256"] == reference_sha:
+                return fail("distinct jobs returned identical labels")
+
+            remaining = args.deadline - (time.monotonic() - started)
+            code = drain(daemon, client, remaining)
+            if code is None:
+                return fail(
+                    f"daemon did not drain within {args.deadline}s"
+                )
+            if code != 0:
+                return fail(f"daemon exited {code}")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(10)
+
+    elapsed = time.monotonic() - started
+    print(
+        f"serve-smoke OK (chaos): SIGKILL + restart recovered state, "
+        f"byte-identical result, clean drain in {elapsed:.1f}s"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        help="seconds allowed for the whole boot/submit/drain cycle",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the SIGKILL/restart durability smoke instead",
+    )
+    args = parser.parse_args()
+    started = time.monotonic()
+    if args.chaos:
+        return run_chaos(args, started)
+    return run_plain(args, started)
 
 
 if __name__ == "__main__":
